@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Design-choice ablations (DESIGN.md §5) beyond the paper's own
+ * experiments:
+ *
+ *  1. Adder idle-input policy: best pair vs single input vs
+ *     four-input rotation.
+ *  2. Guardband map: calibrated linear map vs RD-model-derived.
+ *  3. ISV port availability sensitivity (discarded updates).
+ *  4. Branch predictor (the unmeasured cache-like block):
+ *     accuracy vs stress balance across invert ratios.
+ */
+
+#include <iostream>
+
+#include "adder/adder.hh"
+#include "adder/analysis.hh"
+#include "bench_util.hh"
+#include "cache/branch_predictor.hh"
+#include "common/table.hh"
+#include "nbti/rd_model.hh"
+
+using namespace penelope;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions options = parseBenchOptions(argc, argv);
+    WorkloadSet workload;
+
+    // ------------------------------------------- 1. input policies
+    printHeader("Ablation 1: adder idle-input selection policy");
+    LadnerFischerAdder adder(32);
+    const GuardbandModel model = GuardbandModel::paperCalibrated();
+    AdderAgingAnalysis analysis(adder, model);
+    TraceGenerator gen = workload.generator(0);
+    const auto operands =
+        collectAdderOperands(gen, options.adderOperandSamples);
+    const auto real = analysis.zeroProbsForOperands(operands);
+    const InputPair best = analysis.bestPair();
+
+    TextTable t1({"policy", "guardband @21% utilisation"});
+    t1.addRow({"no idle injection (baseline)",
+               TextTable::pct(analysis.baselineGuardband(real))});
+    {
+        // Single idle input: the same transistors stress all idle
+        // time; mixing happens only against real inputs.
+        PmosAgingTracker tracker(adder.netlist());
+        tracker.applyInput(syntheticVector(adder, best.first));
+        std::vector<double> single(tracker.numDevices());
+        for (std::size_t i = 0; i < single.size(); ++i)
+            single[i] = tracker.zeroProb(i);
+        std::vector<double> mixed(single.size());
+        for (std::size_t i = 0; i < mixed.size(); ++i)
+            mixed[i] = 0.21 * real[i] + 0.79 * single[i];
+        t1.addRow({"single idle input " +
+                       std::to_string(best.first + 1),
+                   TextTable::pct(
+                       analysis.summarize(mixed).guardband)});
+    }
+    t1.addRow({"round-robin pair " + pairLabel(best),
+               TextTable::pct(
+                   analysis.scenarioGuardband(real, 0.21, best))});
+    {
+        // Four-input rotation: 1, 8 and the complements 4, 5.
+        PmosAgingTracker tracker(adder.netlist());
+        for (unsigned k : {0u, 7u, 3u, 4u})
+            tracker.applyInput(syntheticVector(adder, k));
+        std::vector<double> quad(tracker.numDevices());
+        for (std::size_t i = 0; i < quad.size(); ++i)
+            quad[i] = tracker.zeroProb(i);
+        std::vector<double> mixed(quad.size());
+        for (std::size_t i = 0; i < mixed.size(); ++i)
+            mixed[i] = 0.21 * real[i] + 0.79 * quad[i];
+        t1.addRow({"four-input rotation 1/8/4/5",
+                   TextTable::pct(
+                       analysis.summarize(mixed).guardband)});
+    }
+    t1.print(std::cout);
+
+    // --------------------------------------- 2. guardband mapping
+    printHeader("Ablation 2: calibrated map vs RD-model map");
+    TextTable t2({"zero-signal prob", "calibrated linear",
+                  "RD equilibrium x 20%"});
+    for (double p : {0.5, 0.6, 0.75, 0.9, 1.0}) {
+        t2.addRow({TextTable::pct(p, 0),
+                   TextTable::pct(model.guardbandForZeroProb(p)),
+                   TextTable::pct(
+                       0.20 * RdModel::equilibriumFraction(p))});
+    }
+    t2.print(std::cout);
+    std::cout << "The RD equilibrium is linear in duty cycle, the "
+                 "same family as the paper's\ncalibration; the "
+                 "calibrated map just fixes the 2% floor at "
+                 "p=0.5.\n";
+
+    // ------------------------------------ 3. ISV port sensitivity
+    printHeader("Ablation 3: ISV sensitivity to port availability");
+    TextTable t3({"port-free probability", "worst stress with ISV"});
+    for (double port : {1.0, 0.92, 0.5, 0.2}) {
+        RegFileConfig cfg;
+        cfg.numEntries = 128;
+        cfg.width = 32;
+        RegisterFile rf(cfg);
+        rf.enableIsv(true);
+        RegReplayConfig rc;
+        rc.portFreeProb = port;
+        RegFileReplay replay(rf, rc);
+        TraceGenerator g = workload.generator(3);
+        const RegReplayResult r =
+            replay.run(g, options.uopsPerTrace);
+        t3.addRow({TextTable::pct(port, 0),
+                   TextTable::pct(
+                       rf.finalizeBias(r.cycles)
+                           .maxWorstCaseStress(),
+                       1)});
+    }
+    t3.print(std::cout);
+    std::cout << "At the paper's 92% availability the balance is "
+                 "indistinguishable from ideal\n(discarding the "
+                 "rare blocked update is negligible); only far "
+                 "lower availability\nstarts to erode it.\n";
+
+    // ------------------------------------- 4. branch predictor
+    printHeader("Ablation 4: NBTI-aware branch predictor "
+                "(cache-like, unmeasured in the paper)");
+    TextTable t4({"invert ratio", "accuracy", "worst counter-bit "
+                                              "stress"});
+    for (double ratio : {0.0, 0.25, 0.5}) {
+        BranchPredictorConfig cfg;
+        cfg.tableEntries = 4096;
+        cfg.invertRatio = ratio;
+        cfg.rotatePeriod = 2000;
+        BranchPredictor bp(cfg);
+        TraceGenerator g = workload.generator(5);
+        Cycle now = 0;
+        std::uint64_t pc_seq = 0;
+        for (std::size_t i = 0; i < options.uopsPerTrace; ++i) {
+            const Uop uop = g.next();
+            ++now;
+            bp.tick(now);
+            if (uop.cls != UopClass::Branch)
+                continue;
+            const Addr pc = 0x8000 + (pc_seq++ % 1024) * 4;
+            bp.predictAndTrain(pc, uop.taken, now);
+        }
+        t4.addRow({TextTable::pct(ratio, 0),
+                   TextTable::pct(bp.stats().accuracy(), 1),
+                   TextTable::pct(
+                       bp.finalizeBias(now).maxWorstCaseStress(),
+                       1)});
+    }
+    t4.print(std::cout);
+    return 0;
+}

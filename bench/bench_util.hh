@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries.
+ *
+ * Every bench accepts:
+ *   --stride N   use every N-th of the 531 traces (default 16)
+ *   --uops N     uops per trace (default per-bench)
+ *   --full       full workload (stride 1) at paper-scale uop counts
+ */
+
+#ifndef PENELOPE_BENCH_UTIL_HH
+#define PENELOPE_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.hh"
+
+namespace penelope {
+
+inline ExperimentOptions
+parseBenchOptions(int argc, char **argv)
+{
+    ExperimentOptions options;
+    options.traceStride = 16;
+    options.uopsPerTrace = 40'000;
+    options.cacheUops = 40'000;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--stride") && i + 1 < argc) {
+            options.traceStride =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--uops") &&
+                   i + 1 < argc) {
+            options.uopsPerTrace =
+                static_cast<std::size_t>(std::atol(argv[++i]));
+            options.cacheUops = options.uopsPerTrace;
+        } else if (!std::strcmp(argv[i], "--full")) {
+            options.traceStride = 1;
+            options.uopsPerTrace = 200'000;
+            options.cacheUops = 200'000;
+            options.mechanismTimeScale = 0.2;
+        } else if (!std::strcmp(argv[i], "--help")) {
+            std::cout << "usage: " << argv[0]
+                      << " [--stride N] [--uops N] [--full]\n";
+            std::exit(0);
+        }
+    }
+    return options;
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace penelope
+
+#endif // PENELOPE_BENCH_UTIL_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 4: fraction of narrow PMOS transistors left at 100%
+ * zero-signal probability for each of the 28 synthetic input pairs
+ * of the 32-bit Ladner-Fischer adder.  The paper reports 0-4% with
+ * the minimum at pair 1+8 (<0,0,0> + <1,1,1>); in our gate-level
+ * model the minimum is the complementary-operand pair family (3+8 /
+ * 5+8 / 3+7 / 5+7 score lowest), see EXPERIMENTS.md.
+ */
+
+#include <iostream>
+
+#include "adder/adder.hh"
+#include "adder/analysis.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace penelope;
+
+int
+main(int argc, char **argv)
+{
+    parseBenchOptions(argc, argv);
+    printHeader("Figure 4: narrow PMOS at 100% zero-signal "
+                "probability per input pair");
+
+    LadnerFischerAdder adder(32);
+    const GuardbandModel model = GuardbandModel::paperCalibrated();
+    AdderAgingAnalysis analysis(adder, model);
+
+    std::cout << "netlist: " << adder.netlist().numGates()
+              << " gates, " << adder.netlist().numPmos()
+              << " PMOS devices, depth "
+              << adder.netlist().depth() << "\n\n";
+
+    TextTable table({"pair", "% narrow @100% stress",
+                     "paper reference"});
+    const auto sweep = analysis.sweepPairs();
+    const InputPair best = analysis.bestPair();
+    for (const auto &entry : sweep) {
+        std::string note;
+        if (entry.pair == InputPair{0, 7})
+            note = "paper's chosen pair (1+8)";
+        if (entry.pair == best)
+            note += note.empty() ? "measured best" : " / measured best";
+        table.addRow({pairLabel(entry.pair),
+                      TextTable::pct(
+                          entry.narrowFullyStressedFraction),
+                      note});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nMeasured best pair: " << pairLabel(best)
+              << " (paper: 1+8; both belong to the family of pairs "
+                 "that alternate\nevery input rail, the property "
+                 "the paper's selection criterion captures)\n";
+
+    // Ablations: other topologies under the same sweep.
+    printHeader("Ablation: best pair per adder topology");
+    TextTable ab({"topology", "PMOS", "best pair",
+                  "% narrow @100%"});
+    RippleCarryAdder rc(32);
+    KoggeStoneAdder ks(32);
+    for (Adder *a : {static_cast<Adder *>(&adder),
+                     static_cast<Adder *>(&rc),
+                     static_cast<Adder *>(&ks)}) {
+        AdderAgingAnalysis an(*a, model);
+        const InputPair p = an.bestPair();
+        const auto probs = an.zeroProbsForPair(p);
+        const AgingSummary s = an.summarize(probs);
+        ab.addRow({a->name(),
+                   TextTable::count(a->netlist().numPmos()),
+                   pairLabel(p),
+                   TextTable::pct(s.narrowFullyStressedFraction)});
+    }
+    ab.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 5: guardband required by the 32-bit Ladner-Fischer adder
+ * for real inputs vs. real inputs mixed with the best synthetic
+ * idle-input pair at 30% / 21% / 11% utilisation.
+ *
+ * Paper values: 20% (real only), 7.4% (30% real), 5.8% (21%),
+ * ~4% (11%).
+ */
+
+#include <iostream>
+
+#include "adder/adder.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "nbti/efficiency.hh"
+
+using namespace penelope;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions options = parseBenchOptions(argc, argv);
+    printHeader("Figure 5: adder guardband vs utilisation");
+
+    WorkloadSet workload;
+    const AdderExperimentResult r =
+        runAdderExperiment(workload, options);
+
+    TextTable table({"scenario", "measured guardband",
+                     "paper guardband"});
+    table.addRow({"real inputs (unprotected)",
+                  TextTable::pct(r.baselineGuardband), "20%"});
+    const char *paper_values[] = {"7.4%", "5.8%", "~4%"};
+    unsigned i = 0;
+    for (const auto &scenario : r.scenarios) {
+        table.addRow(
+            {"idle pair " + pairLabel(r.bestPair) + " @ " +
+                 TextTable::pct(scenario.utilization, 0) +
+                 " utilisation",
+             TextTable::pct(scenario.guardband), paper_values[i]});
+        ++i;
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAdder utilisation measured in the pipeline:\n"
+              << "  priority allocation: "
+              << TextTable::pct(r.priorityUtilMin, 1) << " .. "
+              << TextTable::pct(r.priorityUtilMax, 1)
+              << " (paper: 11% .. 30%)\n"
+              << "  uniform allocation:  "
+              << TextTable::pct(r.uniformUtil, 1)
+              << " (paper: 21%)\n";
+
+    std::cout << "\nNBTIefficiency at worst-case (30%) utilisation: "
+              << TextTable::num(r.efficiency)
+              << " (paper: 1.24; baseline "
+              << TextTable::num(nbtiEfficiency(1.0, 0.20, 1.0))
+              << ")\n";
+    return 0;
+}

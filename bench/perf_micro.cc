@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths:
+ * netlist evaluation, cache accesses, trace generation, the RD
+ * aging model and the scheduler repair machinery.  These guard the
+ * simulation throughput the experiment harnesses depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "adder/adder.hh"
+#include "cache/timing.hh"
+#include "nbti/rd_model.hh"
+#include "regfile/driver.hh"
+#include "scheduler/driver.hh"
+#include "trace/workload.hh"
+
+using namespace penelope;
+
+namespace {
+
+void
+BM_LadnerFischerEvaluate(benchmark::State &state)
+{
+    LadnerFischerAdder adder(32);
+    Rng rng(1);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        sum += adder.evaluate(rng() & 0xffffffff,
+                              rng() & 0xffffffff, rng.nextBool());
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LadnerFischerEvaluate);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    WorkloadSet workload;
+    TraceGenerator gen = workload.generator(0);
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc += static_cast<std::uint64_t>(gen.next().cls);
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache{CacheConfig()};
+    Rng rng(2);
+    Cycle now = 0;
+    for (auto _ : state) {
+        cache.access(rng.nextInt(1 << 20) * 64, false, ++now,
+                     rng());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CacheAccessLineFixed(benchmark::State &state)
+{
+    Cache cache{CacheConfig()};
+    cache.setPolicy(std::make_unique<LineFixedInversion>(0.5));
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        cache.tick(now);
+        cache.access(rng.nextInt(1 << 20) * 64, false, ++now,
+                     rng());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessLineFixed);
+
+void
+BM_RdModelObserve(benchmark::State &state)
+{
+    RdModel model;
+    bool level = false;
+    for (auto _ : state) {
+        model.observe(level, 1.0);
+        level = !level;
+    }
+    benchmark::DoNotOptimize(model.nit());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RdModelObserve);
+
+void
+BM_SchedulerReplay(benchmark::State &state)
+{
+    WorkloadSet workload;
+    Scheduler sched{SchedulerConfig{}};
+    SchedulerReplay replay(sched, SchedReplayConfig{});
+    TraceGenerator gen = workload.generator(0);
+    for (auto _ : state)
+        replay.run(gen, 256);
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SchedulerReplay);
+
+void
+BM_RegFileReplay(benchmark::State &state)
+{
+    WorkloadSet workload;
+    RegisterFile rf{RegFileConfig()};
+    rf.enableIsv(true);
+    RegFileReplay replay(rf, RegReplayConfig{});
+    TraceGenerator gen = workload.generator(1);
+    for (auto _ : state)
+        replay.run(gen, 256);
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RegFileReplay);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Section 1.1 motivation numbers: how biased the data flowing
+ * through the pipeline is.
+ *
+ * Paper: the adder carry-in is "0" more than 90% of the time; the
+ * integer register file's per-bit zero probability ranges between
+ * 65% and 90%; some scheduler fields are almost 100% zero; 90% of
+ * DL0 hits land in the MRU position (7% MRU+1, 3% rest).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace penelope;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions options = parseBenchOptions(argc, argv);
+    WorkloadSet workload;
+
+    printHeader("Section 1.1: data bias motivation");
+
+    // Carry-in bias across suites.
+    RunningStats cin_zero;
+    for (unsigned index : workload.firstPerSuite()) {
+        TraceGenerator gen = workload.generator(index);
+        const auto ops = collectAdderOperands(gen, 2000);
+        std::size_t zeros = 0;
+        for (const auto &op : ops)
+            if (!op.cin)
+                ++zeros;
+        if (!ops.empty())
+            cin_zero.add(static_cast<double>(zeros) / ops.size());
+    }
+
+    // Register-file bias range.
+    const auto int_rf =
+        runRegFileExperiment(workload, false, options);
+    double bias_min = 1.0;
+    double bias_max = 0.0;
+    for (double b : int_rf.baselineBias) {
+        bias_min = std::min(bias_min, b);
+        bias_max = std::max(bias_max, b);
+    }
+
+    // Scheduler worst fields.
+    const auto sched = runSchedulerExperiment(workload, options);
+
+    // Pipeline survey: MRU positions, occupancies, ports.
+    const auto survey = runPipelineSurvey(workload, options);
+
+    TextTable table({"observation", "measured", "paper"});
+    table.addRow({"adder carry-in zero probability",
+                  TextTable::pct(cin_zero.mean(), 1), "> 90%"});
+    table.addRow({"INT register file per-bit zero-prob range",
+                  TextTable::pct(bias_min, 1) + " .. " +
+                      TextTable::pct(bias_max, 1),
+                  "65% .. 90%"});
+    table.addRow({"scheduler worst field bias (baseline)",
+                  TextTable::pct(sched.baselineWorstFig8, 1),
+                  "almost 100%"});
+    table.addRow({"DL0 hits at MRU position",
+                  TextTable::pct(survey.mruHitFraction[0], 1),
+                  "90%"});
+    table.addRow({"DL0 hits at MRU+1",
+                  TextTable::pct(survey.mruHitFraction[1], 1),
+                  "7%"});
+    table.addRow({"DL0 hits elsewhere",
+                  TextTable::pct(survey.mruHitFraction[2], 1),
+                  "3%"});
+    table.print(std::cout);
+
+    printHeader("Pipeline survey (inputs to Sections 4.4-4.5)");
+    TextTable p({"statistic", "measured", "paper"});
+    p.addRow({"CPI (uniform policy)", TextTable::num(survey.cpi, 2),
+              "-"});
+    p.addRow({"scheduler occupancy",
+              TextTable::pct(survey.schedOccupancy, 1), "63%"});
+    p.addRow({"INT registers free",
+              TextTable::pct(survey.intRfFree, 1), "54%"});
+    p.addRow({"FP registers free",
+              TextTable::pct(survey.fpRfFree, 1), "69%"});
+    p.addRow({"INT RF port free at release",
+              TextTable::pct(survey.intRfPortFree, 1), "92%"});
+    p.addRow({"FP RF port free at release",
+              TextTable::pct(survey.fpRfPortFree, 1), "86%"});
+    p.addRow({"allocate port free at sched release",
+              TextTable::pct(survey.schedPortFree, 1), "77%"});
+    p.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 1: the 531-trace workload.  Prints the suite inventory and
+ * the measured per-suite characteristics of the synthetic traces
+ * (instruction mix, working sets, value bias), which are the tuning
+ * surface for every other experiment.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace penelope;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions options = parseBenchOptions(argc, argv);
+    WorkloadSet workload;
+
+    printHeader("Table 1: workloads");
+    TextTable table({"suite", "# traces", "description"});
+    for (const auto &suite : allSuites()) {
+        table.addRow({suite.name,
+                      TextTable::count(suite.numTraces),
+                      suite.description});
+    }
+    table.addSeparator();
+    table.addRow({"total", TextTable::count(totalTraceCount()),
+                  "(paper: 531)"});
+    table.print(std::cout);
+
+    printHeader("Measured per-suite trace characteristics");
+    TextTable m({"suite", "load", "store", "branch", "fp",
+                 "wss (KB)", "carry-in zero-prob"});
+    for (const auto &suite : allSuites()) {
+        const auto indices = workload.indicesForSuite(suite.id);
+        TraceGenerator gen = workload.generator(indices.front());
+        std::uint64_t counts[numUopClasses] = {};
+        std::size_t n = options.uopsPerTrace / 4;
+        for (std::size_t i = 0; i < n; ++i)
+            ++counts[static_cast<unsigned>(gen.next().cls)];
+        auto frac = [&](UopClass c) {
+            return static_cast<double>(
+                       counts[static_cast<unsigned>(c)]) /
+                static_cast<double>(n);
+        };
+        // Carry-in bias from operand sampling (Section 1.1: the
+        // adder carry-in is "0" more than 90% of the time).
+        TraceGenerator gen2 = workload.generator(indices.front());
+        const auto ops = collectAdderOperands(gen2, 2000);
+        std::size_t zeros = 0;
+        for (const auto &op : ops)
+            if (!op.cin)
+                ++zeros;
+        m.addRow(
+            {suite.name, TextTable::pct(frac(UopClass::Load), 1),
+             TextTable::pct(frac(UopClass::Store), 1),
+             TextTable::pct(frac(UopClass::Branch), 1),
+             TextTable::pct(frac(UopClass::FpAdd) +
+                                frac(UopClass::FpMul),
+                            1),
+             TextTable::num(
+                 static_cast<double>(gen.params().wssBytes) /
+                     1024.0,
+                 0),
+             ops.empty()
+                 ? std::string("-")
+                 : TextTable::pct(static_cast<double>(zeros) /
+                                      ops.size(),
+                                  1)});
+    }
+    m.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Table 4 + Sections 4.2 / 4.7: the NBTIefficiency metric worked
+ * examples, the per-block summary, and the whole-processor roll-up
+ * (equations 1-4).
+ *
+ * Paper values: baseline 1.73, periodic inversion 1.41, adder 1.24,
+ * register file 1.12, scheduler 1.24, DL0 1.09, Penelope processor
+ * 1.28 (delay 1.007, TDP 1.01, guardband 7.4%).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "nbti/efficiency.hh"
+
+using namespace penelope;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions options = parseBenchOptions(argc, argv);
+    WorkloadSet workload;
+
+    // Section 4.2 worked examples (closed form, exact).
+    printHeader("Section 4.2: metric worked examples");
+    TextTable ex({"design", "delay", "guardband", "TDP",
+                  "NBTIefficiency", "paper"});
+    ex.addRow({"baseline (pay 20% guardband)", "1.00", "20%",
+               "1.00", TextTable::num(nbtiEfficiency(1.0, 0.20, 1.0)),
+               "1.73"});
+    ex.addRow({"periodic inversion (memory-like)", "1.10", "2%",
+               "1.00",
+               TextTable::num(nbtiEfficiency(1.10, 0.02, 1.0)),
+               "1.41"});
+    ex.print(std::cout);
+
+    // Run all block experiments.
+    std::cout << "\nrunning block experiments...\n";
+    const auto adder = runAdderExperiment(workload, options);
+    const auto int_rf =
+        runRegFileExperiment(workload, false, options);
+    const auto fp_rf =
+        runRegFileExperiment(workload, true, options);
+    const auto sched = runSchedulerExperiment(workload, options);
+    const auto summary = buildProcessorSummary(
+        adder, int_rf, fp_rf, sched, workload, options);
+
+    printHeader("Per-block summary (Sections 4.3-4.6)");
+    TextTable blocks({"block", "cycle time", "guardband", "TDP",
+                      "NBTIefficiency", "paper"});
+    const char *paper_eff[] = {"1.24", "1.12", "1.24", "1.09",
+                               "~1.09"};
+    unsigned i = 0;
+    for (const auto &b : summary.blocks) {
+        blocks.addRow({b.name, TextTable::num(b.cycleTimeFactor, 2),
+                       TextTable::pct(b.guardband, 1),
+                       TextTable::num(b.tdpFactor, 2),
+                       TextTable::num(nbtiEfficiency(b)),
+                       i < 5 ? paper_eff[i] : ""});
+        ++i;
+    }
+    blocks.print(std::cout);
+
+    printHeader("Section 4.7: processor roll-up (equations 2-4)");
+    ProcessorCost cost(summary.combinedCpi);
+    for (const auto &b : summary.blocks)
+        cost.addBlock(b);
+    TextTable proc({"quantity", "measured", "paper"});
+    proc.addRow({"combined CPI (LineFixed50% DL0+DTLB)",
+                 TextTable::num(summary.combinedCpi, 3), "1.007"});
+    proc.addRow({"combined CPI (LineDynamic60% DL0+DTLB)",
+                 TextTable::num(summary.combinedCpiDynamic, 3),
+                 "(best Table-3 mechanism)"});
+    proc.addRow({"processor delay (eq. 2)",
+                 TextTable::num(cost.delay(), 3), "1.007"});
+    proc.addRow({"processor TDP (eq. 3)",
+                 TextTable::num(cost.tdp(), 3), "1.01"});
+    proc.addRow({"processor guardband (eq. 4)",
+                 TextTable::pct(cost.guardband(), 1), "7.4%"});
+    proc.print(std::cout);
+
+    printHeader("Headline: NBTIefficiency");
+    TextTable head({"design", "measured", "paper"});
+    head.addRow({"baseline (full guardbands)",
+                 TextTable::num(summary.baselineEfficiency),
+                 "1.73"});
+    head.addRow({"periodic inversion",
+                 TextTable::num(summary.invertEfficiency), "1.41"});
+    head.addRow({"Penelope (caches: LineFixed50%)",
+                 TextTable::num(summary.penelopeEfficiency),
+                 "1.28"});
+    head.addRow({"Penelope (caches: LineDynamic60%)",
+                 TextTable::num(summary.penelopeEfficiencyDynamic),
+                 "1.28"});
+    head.print(std::cout);
+
+    std::cout << "\nNote: our synthetic trace population stresses "
+                 "the caches harder than the\npaper's under "
+                 "LineFixed50% (see EXPERIMENTS.md); with the "
+                 "paper's own best\nmechanism (LineDynamic60%) the "
+                 "ordering Penelope < inverting < baseline\n"
+                 "reproduces.\n";
+
+    std::cout << "\nmax guardband across blocks: "
+              << TextTable::pct(summary.maxGuardband, 1)
+              << " (paper: 7.4%, the adder)\n"
+              << "guardband reductions span "
+              << TextTable::pct(0.20 - summary.maxGuardband, 1)
+              << " .. "
+              << TextTable::pct(
+                     0.20 - GuardbandModel::paperCalibrated()
+                                .balancedGuardband(),
+                     1)
+              << " (paper: 12.6% .. 18%)\n";
+    return 0;
+}

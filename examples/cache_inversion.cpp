@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cache-like block protection walkthrough (Sections 3.2.1 / 4.6).
+ *
+ * Runs one cache-friendly and one cache-hungry trace through a
+ * 32KB DL0 under each inversion mechanism and reports the invert
+ * ratio achieved (the NBTI benefit) against the performance cost,
+ * showing why the dynamic mechanism disables itself for the hungry
+ * program.
+ */
+
+#include <iostream>
+
+#include "cache/timing.hh"
+#include "trace/workload.hh"
+
+using namespace penelope;
+
+namespace {
+
+void
+runOne(const WorkloadSet &workload, unsigned index,
+       const char *label)
+{
+    std::cout << label << " (suite "
+              << suiteName(workload.spec(index).suite)
+              << ", working set ~"
+              << workload.generator(index).params().wssBytes / 1024
+              << " KB)\n";
+
+    double base_cycles = 0.0;
+    for (const MechanismKind mech :
+         {MechanismKind::None, MechanismKind::SetFixed50,
+          MechanismKind::LineFixed50,
+          MechanismKind::LineDynamic60}) {
+        TraceGenerator gen = workload.generator(index);
+        MemTimingSim sim(CacheConfig(), CacheConfig::tlb(128, 8),
+                         MemTimingParams(), mech,
+                         MechanismKind::None, 0.05);
+        const MemSimResult r = sim.run(gen, 120'000);
+        if (mech == MechanismKind::None) {
+            base_cycles = r.cycles;
+            std::cout << "  baseline: miss rate "
+                      << 100.0 * r.dl0Misses /
+                    std::max<std::uint64_t>(1, r.memOps)
+                      << "%\n";
+            continue;
+        }
+        std::cout << "  " << mechanismName(mech)
+                  << ": invert ratio " << r.dl0AvgInvertRatio
+                  << ", performance loss "
+                  << (r.cycles / base_cycles - 1.0) * 100 << "%\n";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    WorkloadSet workload;
+    // An Office trace fits comfortably; a Server trace does not.
+    const unsigned friendly =
+        workload.indicesForSuite(SuiteId::Office).front();
+    const unsigned hungry =
+        workload.indicesForSuite(SuiteId::Server).front();
+    runOne(workload, friendly, "cache-friendly trace");
+    runOne(workload, hungry, "cache-hungry trace");
+
+    std::cout << "The dynamic mechanism tests itself on each "
+                 "program: it keeps inverting for the\nfriendly "
+                 "trace (full NBTI benefit) and deactivates for "
+                 "the hungry one, which is\nexactly the Table-3 "
+                 "result.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * NBTI physics explorer.
+ *
+ * Sweeps the reaction-diffusion model across duty cycles,
+ * temperatures and voltages, and the long-term model across design
+ * lifetimes, printing the trade-off surface a reliability engineer
+ * would consult before choosing guardbands.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "nbti/guardband.hh"
+#include "nbti/long_term.hh"
+#include "nbti/rd_model.hh"
+
+using namespace penelope;
+
+int
+main()
+{
+    // Duty-cycle sweep at equilibrium.
+    TextTable duty({"zero-signal prob", "equilibrium degradation",
+                    "guardband", "Vmin increase",
+                    "lifetime gain vs 100%"});
+    const GuardbandModel g = GuardbandModel::paperCalibrated();
+    const VminModel v = VminModel::paperCalibrated();
+    const LongTermModel lt;
+    for (double alpha : {1.0, 0.9, 0.75, 0.632, 0.545, 0.5}) {
+        duty.addRow(
+            {TextTable::pct(alpha, 1),
+             TextTable::num(RdModel::equilibriumFraction(alpha), 3),
+             TextTable::pct(g.guardbandForZeroProb(alpha), 1),
+             TextTable::pct(v.vminIncreaseForCellBias(alpha), 1),
+             TextTable::num(lt.lifetimeGain(1.0, alpha), 1) + "x"});
+    }
+    std::cout << "=== duty-cycle sweep ===\n";
+    duty.print(std::cout);
+
+    // Temperature sweep: one year of DC stress.
+    TextTable temp({"temperature", "rel. VTH shift after 1y DC"});
+    for (double celsius : {45.0, 65.0, 85.0, 105.0}) {
+        RdModelParams p;
+        p.temperature = celsius + 273.0;
+        RdModel m(p);
+        m.stress(365.25 * 86400.0);
+        temp.addRow({TextTable::num(celsius, 0) + " C",
+                     TextTable::pct(m.relativeVthShift(), 2)});
+    }
+    std::cout << "\n=== temperature sweep ===\n";
+    temp.print(std::cout);
+
+    // Voltage sweep.
+    TextTable volt({"stress voltage", "rel. VTH shift after 1y"});
+    for (double vdd : {0.9, 1.0, 1.1, 1.2}) {
+        RdModelParams p;
+        p.stressVoltage = vdd;
+        RdModel m(p);
+        m.stress(365.25 * 86400.0);
+        volt.addRow({TextTable::num(vdd, 1) + " V",
+                     TextTable::pct(m.relativeVthShift(), 2)});
+    }
+    std::cout << "\n=== voltage sweep ===\n";
+    volt.print(std::cout);
+
+    std::cout << "\nHigher temperature and voltage accelerate "
+                 "degradation; halving the zero-signal\nprobability "
+                 "buys a 10x guardband reduction -- the entire "
+                 "Penelope premise.\n";
+    return 0;
+}

@@ -1,0 +1,152 @@
+#include "analysis.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace penelope {
+
+std::vector<OperandSample>
+collectAdderOperands(TraceGenerator &gen, std::size_t count)
+{
+    std::vector<OperandSample> out;
+    out.reserve(count);
+    // Bounded scan: some suites are branch/FP heavy, so cap the
+    // number of uops inspected to avoid unbounded loops.
+    const std::size_t max_uops = count * 16 + 1024;
+    Rng rng(0xadde7);
+    for (std::size_t scanned = 0;
+         out.size() < count && scanned < max_uops; ++scanned) {
+        const Uop uop = gen.next();
+        OperandSample s{};
+        switch (uop.cls) {
+          case UopClass::IntAlu: {
+            const std::uint32_t a =
+                static_cast<std::uint32_t>(uop.srcVal1);
+            const std::uint32_t b = static_cast<std::uint32_t>(
+                uop.hasImm ? uop.imm : uop.srcVal2);
+            // ~8% of ALU adds are subtracts: A + ~B + 1.
+            if (rng.nextBool(0.08)) {
+                s = {a, ~b, true};
+            } else {
+                s = {a, b, false};
+            }
+            break;
+          }
+          case UopClass::Load:
+          case UopClass::Store: {
+            // AGU: base + displacement.
+            const std::uint32_t base =
+                static_cast<std::uint32_t>(uop.srcVal1);
+            const std::uint32_t disp = static_cast<std::uint32_t>(
+                uop.addr - uop.srcVal1);
+            s = {base, disp, false};
+            break;
+          }
+          default:
+            continue;
+        }
+        out.push_back(s);
+    }
+    return out;
+}
+
+AdderAgingAnalysis::AdderAgingAnalysis(const Adder &adder,
+                                       const GuardbandModel &model)
+    : adder_(adder), model_(model)
+{
+}
+
+std::vector<double>
+AdderAgingAnalysis::zeroProbsForInput(unsigned index) const
+{
+    PmosAgingTracker tracker(adder_.netlist());
+    tracker.applyInput(syntheticVector(adder_, index));
+    std::vector<double> probs(tracker.numDevices());
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        probs[i] = tracker.zeroProb(i);
+    return probs;
+}
+
+std::vector<double>
+AdderAgingAnalysis::zeroProbsForPair(const InputPair &pair) const
+{
+    PmosAgingTracker tracker(adder_.netlist());
+    tracker.applyInput(syntheticVector(adder_, pair.first));
+    tracker.applyInput(syntheticVector(adder_, pair.second));
+    std::vector<double> probs(tracker.numDevices());
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        probs[i] = tracker.zeroProb(i);
+    return probs;
+}
+
+std::vector<double>
+AdderAgingAnalysis::zeroProbsForOperands(
+    const std::vector<OperandSample> &ops) const
+{
+    PmosAgingTracker tracker(adder_.netlist());
+    for (const auto &op : ops)
+        tracker.applyInput(
+            adder_.makeInputVector(op.a, op.b, op.cin));
+    std::vector<double> probs(tracker.numDevices());
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        probs[i] = tracker.zeroProb(i);
+    return probs;
+}
+
+std::vector<PairSweepEntry>
+AdderAgingAnalysis::sweepPairs() const
+{
+    std::vector<PairSweepEntry> entries;
+    for (const InputPair &pair : allInputPairs()) {
+        const AgingSummary s = summarize(zeroProbsForPair(pair));
+        entries.push_back({pair, s.narrowFullyStressedFraction});
+    }
+    return entries;
+}
+
+InputPair
+AdderAgingAnalysis::bestPair() const
+{
+    const auto entries = sweepPairs();
+    assert(!entries.empty());
+    const auto it = std::min_element(
+        entries.begin(), entries.end(),
+        [](const PairSweepEntry &x, const PairSweepEntry &y) {
+            return x.narrowFullyStressedFraction <
+                y.narrowFullyStressedFraction;
+        });
+    return it->pair;
+}
+
+double
+AdderAgingAnalysis::scenarioGuardband(
+    const std::vector<double> &real_probs, double utilization,
+    const InputPair &pair) const
+{
+    assert(utilization >= 0.0 && utilization <= 1.0);
+    const auto pair_probs = zeroProbsForPair(pair);
+    assert(pair_probs.size() == real_probs.size());
+    std::vector<double> mixed(real_probs.size());
+    for (std::size_t i = 0; i < mixed.size(); ++i) {
+        mixed[i] = utilization * real_probs[i] +
+            (1.0 - utilization) * pair_probs[i];
+    }
+    return summarize(mixed).guardband;
+}
+
+double
+AdderAgingAnalysis::baselineGuardband(
+    const std::vector<double> &real_probs) const
+{
+    return summarize(real_probs).guardband;
+}
+
+AgingSummary
+AdderAgingAnalysis::summarize(
+    const std::vector<double> &zero_probs) const
+{
+    return PmosAgingTracker::summarizeZeroProbs(
+        adder_.netlist(), zero_probs, model_);
+}
+
+} // namespace penelope

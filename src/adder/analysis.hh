@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Adder aging analysis: the Figure 4 / Figure 5 experiments.
+ *
+ * Pipeline: (1) age the adder under operand samples drawn from the
+ * workload ("real inputs"), (2) age it under each synthetic input,
+ * (3) sweep all synthetic input pairs for the fraction of narrow
+ * PMOS left fully stressed (Figure 4), (4) combine real and
+ * synthetic duty cycles at a given adder utilisation and convert to
+ * a guardband (Figure 5).
+ */
+
+#ifndef PENELOPE_ADDER_ANALYSIS_HH
+#define PENELOPE_ADDER_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/aging.hh"
+#include "idle_inputs.hh"
+#include "trace/generator.hh"
+
+namespace penelope {
+
+/** One sampled (a, b, cin) adder operation. */
+struct OperandSample
+{
+    std::uint32_t a;
+    std::uint32_t b;
+    bool cin;
+};
+
+/**
+ * Extract adder operand samples from a uop stream: IntAlu ops
+ * contribute their source operands (subtracts appear as inverted
+ * second operand with carry-in 1, which keeps the carry-in "0" more
+ * than 90% of the time as the paper observes); loads and stores
+ * contribute base + displacement address generations.
+ */
+std::vector<OperandSample>
+collectAdderOperands(TraceGenerator &gen, std::size_t count);
+
+/** Result of the Figure-4 pair sweep for one pair. */
+struct PairSweepEntry
+{
+    InputPair pair;
+    /** Narrow PMOS at 100% zero-signal probability / all PMOS. */
+    double narrowFullyStressedFraction;
+};
+
+/**
+ * Aging analysis harness bound to one adder topology.
+ */
+class AdderAgingAnalysis
+{
+  public:
+    AdderAgingAnalysis(const Adder &adder,
+                       const GuardbandModel &model);
+
+    /** Per-device zero probability under one synthetic input. */
+    std::vector<double> zeroProbsForInput(unsigned index) const;
+
+    /** Per-device zero probability under a round-robin pair
+     *  (each value is 0, 0.5 or 1). */
+    std::vector<double> zeroProbsForPair(const InputPair &pair) const;
+
+    /** Per-device zero probability under real operand samples. */
+    std::vector<double>
+    zeroProbsForOperands(const std::vector<OperandSample> &ops) const;
+
+    /** Figure 4: all 28 pairs with their stressed-narrow fraction. */
+    std::vector<PairSweepEntry> sweepPairs() const;
+
+    /** Pair minimising the Figure-4 metric (ties: first in order,
+     *  which matches the paper's 1+8 choice). */
+    InputPair bestPair() const;
+
+    /**
+     * Figure 5: required guardband when real inputs are applied
+     * @p utilization of the time and the pair's synthetic inputs the
+     * rest.  @p real_probs comes from zeroProbsForOperands().
+     * Uses per-device mixing: p = u * p_real + (1-u) * p_pair.
+     */
+    double scenarioGuardband(const std::vector<double> &real_probs,
+                             double utilization,
+                             const InputPair &pair) const;
+
+    /** Guardband with real inputs held during idle periods too
+     *  (the unprotected baseline of Figure 5). */
+    double
+    baselineGuardband(const std::vector<double> &real_probs) const;
+
+    /** Summary for an arbitrary per-device probability vector. */
+    AgingSummary
+    summarize(const std::vector<double> &zero_probs) const;
+
+    const Adder &adder() const { return adder_; }
+
+  private:
+    const Adder &adder_;
+    GuardbandModel model_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_ADDER_ANALYSIS_HH

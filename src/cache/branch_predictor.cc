@@ -1,0 +1,113 @@
+#include "branch_predictor.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace penelope {
+
+BranchPredictor::BranchPredictor(
+    const BranchPredictorConfig &config)
+    : config_(config),
+      table_(config.tableEntries),
+      bias_(2)
+{
+    assert(config_.tableEntries >= 2);
+    assert((config_.tableEntries & (config_.tableEntries - 1)) ==
+           0);
+    assert(config_.invertRatio >= 0.0 &&
+           config_.invertRatio < 1.0);
+    invertedCount_ = static_cast<unsigned>(
+        std::lround(config_.invertRatio * config_.tableEntries));
+    for (unsigned i = 0; i < invertedCount_; ++i) {
+        table_[i].inverted = true;
+        table_[i].counter =
+            static_cast<std::uint8_t>(~table_[i].counter & 0x3);
+    }
+}
+
+bool
+BranchPredictor::isInverted(unsigned index) const
+{
+    if (invertedCount_ == 0)
+        return false;
+    const unsigned rel = (index + config_.tableEntries -
+                          invertedFirst_) %
+        config_.tableEntries;
+    return rel < invertedCount_;
+}
+
+void
+BranchPredictor::flushEntry(Entry &e, Cycle now)
+{
+    if (now > e.since) {
+        bias_.observe(Word(e.counter), now - e.since);
+        e.since = now;
+    }
+}
+
+bool
+BranchPredictor::predictAndTrain(Addr pc, bool taken, Cycle now)
+{
+    const unsigned index = static_cast<unsigned>(
+        (pc >> 2) & (config_.tableEntries - 1));
+    Entry &e = table_[index];
+    bool prediction = false;
+    if (e.inverted) {
+        // The entry is out of service: static not-taken fallback.
+        prediction = false;
+    } else {
+        prediction = e.counter >= 2;
+        flushEntry(e, now);
+        if (taken)
+            e.counter = std::min<std::uint8_t>(3, e.counter + 1);
+        else if (e.counter > 0)
+            --e.counter;
+    }
+    ++stats_.predictions;
+    if (prediction == taken)
+        ++stats_.correct;
+    return prediction == taken;
+}
+
+void
+BranchPredictor::tick(Cycle now)
+{
+    if (invertedCount_ == 0 ||
+        now - lastRotate_ < config_.rotatePeriod) {
+        return;
+    }
+    lastRotate_ = now;
+    // The entry leaving the window rejoins the live table (its
+    // cells complemented back); the entry entering it is
+    // complemented in place.
+    Entry &leaving = table_[invertedFirst_];
+    flushEntry(leaving, now);
+    leaving.inverted = false;
+    leaving.counter =
+        static_cast<std::uint8_t>(~leaving.counter & 0x3);
+    const unsigned entering =
+        (invertedFirst_ + invertedCount_) % config_.tableEntries;
+    Entry &in = table_[entering];
+    flushEntry(in, now);
+    in.inverted = true;
+    in.counter = static_cast<std::uint8_t>(~in.counter & 0x3);
+    invertedFirst_ = (invertedFirst_ + 1) % config_.tableEntries;
+}
+
+double
+BranchPredictor::invertRatio() const
+{
+    return static_cast<double>(invertedCount_) /
+        static_cast<double>(config_.tableEntries);
+}
+
+const BitBiasTracker &
+BranchPredictor::finalizeBias(Cycle now)
+{
+    for (auto &e : table_)
+        flushEntry(e, now);
+    return bias_;
+}
+
+} // namespace penelope

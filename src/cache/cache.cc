@@ -1,0 +1,413 @@
+#include "cache.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "inversion.hh"
+
+namespace penelope {
+
+CacheConfig
+CacheConfig::tlb(std::uint32_t entries, std::uint32_t ways,
+                 std::uint32_t page_bytes)
+{
+    CacheConfig cfg;
+    cfg.name = "DTLB";
+    cfg.lineBytes = page_bytes;
+    cfg.ways = std::min(ways, entries);
+    cfg.sizeBytes = entries * page_bytes;
+    return cfg;
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config),
+      numSets_(config.numSets()),
+      lines_(static_cast<std::size_t>(config.numSets()) *
+             config.ways),
+      mruHits_(config.ways),
+      usableSetCount_(config.numSets()),
+      usableWayCount_(config.ways),
+      dataBias_(64),
+      rng_(0xcac4e + config.sizeBytes + config.ways)
+{
+    assert(numSets_ >= 1);
+    assert(config_.ways >= 1);
+    assert((config_.lineBytes & (config_.lineBytes - 1)) == 0);
+}
+
+Cache::~Cache() = default;
+
+void
+Cache::setPolicy(std::unique_ptr<InversionPolicy> policy)
+{
+    policy_ = std::move(policy);
+    if (policy_)
+        policy_->attach(*this, lastRatioUpdate_);
+}
+
+Cache::Line &
+Cache::lineAt(unsigned set, unsigned way)
+{
+    return lines_[static_cast<std::size_t>(set) * config_.ways + way];
+}
+
+const Cache::Line &
+Cache::lineAt(unsigned set, unsigned way) const
+{
+    return lines_[static_cast<std::size_t>(set) * config_.ways + way];
+}
+
+unsigned
+Cache::indexOf(std::uint64_t line_no) const
+{
+    return (usableSetFirst_ + line_no % usableSetCount_) % numSets_;
+}
+
+double
+Cache::missRate() const
+{
+    const std::uint64_t total = accesses();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+double
+Cache::invertRatio() const
+{
+    return static_cast<double>(invertedCount_) /
+        static_cast<double>(numLines());
+}
+
+double
+Cache::averageInvertRatio(Cycle now) const
+{
+    const double pending = invertRatio() *
+        static_cast<double>(now - lastRatioUpdate_);
+    if (now == 0)
+        return invertRatio();
+    return (invertRatioIntegral_ + pending) /
+        static_cast<double>(now);
+}
+
+void
+Cache::flushImage(Line &line, Cycle now)
+{
+    if (now > line.imageSince) {
+        dataBias_.observe(line.image, now - line.imageSince);
+        line.imageSince = now;
+    }
+}
+
+void
+Cache::sampleRinv(Word value)
+{
+    // RINV samples (and inverts) a value flowing through a write
+    // port periodically (Section 3.2, situation I).
+    if ((rinvUpdateCounter_++ & 0x3ff) == 0)
+        rinv_ = ~value;
+}
+
+unsigned
+Cache::recencyPosition(unsigned set, unsigned way) const
+{
+    const Line &ref = lineAt(set, way);
+    unsigned pos = 0;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (w == way)
+            continue;
+        const Line &other = lineAt(set, w);
+        if (other.valid && other.lastUse > ref.lastUse)
+            ++pos;
+    }
+    return pos;
+}
+
+int
+Cache::lruValidWay(unsigned set, bool skip_shadow) const
+{
+    int best = -1;
+    Cycle best_use = ~Cycle(0);
+    for (unsigned i = 0; i < usableWayCount_; ++i) {
+        const unsigned w = (usableWayFirst_ + i) % config_.ways;
+        const Line &line = lineAt(set, w);
+        if (!line.valid || line.inverted)
+            continue;
+        if (skip_shadow && line.shadow)
+            continue;
+        if (line.lastUse < best_use) {
+            best_use = line.lastUse;
+            best = static_cast<int>(w);
+        }
+    }
+    return best;
+}
+
+unsigned
+Cache::pickVictim(unsigned set, Cycle now)
+{
+    (void)now;
+    // Invalid (including inverted) lines first: consuming an
+    // inverted line is the designed refill path (Section 3.2.1).
+    for (unsigned i = 0; i < usableWayCount_; ++i) {
+        const unsigned w = (usableWayFirst_ + i) % config_.ways;
+        if (!lineAt(set, w).valid)
+            return w;
+    }
+
+    switch (config_.replacement) {
+      case ReplacementPolicy::Random: {
+        const unsigned i =
+            static_cast<unsigned>(rng_.nextInt(usableWayCount_));
+        return (usableWayFirst_ + i) % config_.ways;
+      }
+      case ReplacementPolicy::PseudoLru:
+      case ReplacementPolicy::Lru:
+      default: {
+        // True LRU over the usable window; pLRU approximated by
+        // sampling two candidates and taking the older (tree pLRU
+        // behaves statistically like this at our granularity).
+        if (config_.replacement == ReplacementPolicy::PseudoLru &&
+            usableWayCount_ > 2) {
+            unsigned w1 = (usableWayFirst_ +
+                           static_cast<unsigned>(
+                               rng_.nextInt(usableWayCount_))) %
+                config_.ways;
+            unsigned w2 = (usableWayFirst_ +
+                           static_cast<unsigned>(
+                               rng_.nextInt(usableWayCount_))) %
+                config_.ways;
+            return lineAt(set, w1).lastUse <= lineAt(set, w2).lastUse
+                ? w1 : w2;
+        }
+        const int lru = lruValidWay(set, false);
+        assert(lru >= 0);
+        return static_cast<unsigned>(lru);
+      }
+    }
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write, Cycle now,
+              std::optional<Word> data)
+{
+    const std::uint64_t line_no = addr / config_.lineBytes;
+    const unsigned set = indexOf(line_no);
+
+    AccessResult result;
+
+    // Lookup in the usable ways.
+    for (unsigned i = 0; i < usableWayCount_; ++i) {
+        const unsigned w = (usableWayFirst_ + i) % config_.ways;
+        Line &line = lineAt(set, w);
+        if (line.valid && !line.inverted && line.tag == line_no) {
+            result.hit = true;
+            result.mruPosition = recencyPosition(set, w);
+            ++hits_;
+            mruHits_.add(result.mruPosition);
+            line.lastUse = now;
+            if (is_write && data) {
+                flushImage(line, now);
+                line.image = *data;
+                sampleRinv(*data);
+            }
+            if (line.shadow) {
+                result.shadowExtraMiss = true;
+                if (policy_)
+                    policy_->onShadowHit(*this, set, w, now);
+            }
+            return result;
+        }
+    }
+
+    // Miss: allocate.
+    ++misses_;
+    const unsigned victim = pickVictim(set, now);
+    Line &line = lineAt(set, victim);
+    if (line.inverted) {
+        // Ratio bookkeeping before the state change.
+        invertRatioIntegral_ += invertRatio() *
+            static_cast<double>(now - lastRatioUpdate_);
+        lastRatioUpdate_ = now;
+        --invertedCount_;
+        result.consumedInvertedLine = true;
+    }
+    if (line.shadow) {
+        line.shadow = false;
+        --shadowCount_;
+    }
+    flushImage(line, now);
+    line.tag = line_no;
+    line.valid = true;
+    line.inverted = false;
+    line.lastUse = now;
+    line.image = data.value_or(rng_());
+    sampleRinv(line.image);
+
+    if (policy_)
+        policy_->onFill(*this, set, victim, now,
+                        result.consumedInvertedLine);
+    return result;
+}
+
+void
+Cache::tick(Cycle now)
+{
+    if (policy_)
+        policy_->onCycle(*this, now);
+}
+
+bool
+Cache::invertLine(unsigned set, unsigned way, Cycle now)
+{
+    Line &line = lineAt(set, way);
+    if (line.inverted)
+        return false;
+    invertRatioIntegral_ += invertRatio() *
+        static_cast<double>(now - lastRatioUpdate_);
+    lastRatioUpdate_ = now;
+    flushImage(line, now);
+    // Invalidate and store complemented contents so the opposite
+    // PMOS of every bit cell ages during the inverted residence.
+    line.image = ~line.image;
+    line.valid = false;
+    line.inverted = true;
+    if (line.shadow) {
+        line.shadow = false;
+        --shadowCount_;
+    }
+    ++invertedCount_;
+    return true;
+}
+
+bool
+Cache::invertLruLineOfSet(unsigned set, Cycle now)
+{
+    // Plain-invalid lines hold dead data: inverting one is free.
+    // Only a fully valid set sacrifices its LRU line, which is the
+    // steady-state case the paper describes (most cache contents
+    // are useless and about to be evicted anyway).
+    for (unsigned i = 0; i < usableWayCount_; ++i) {
+        const unsigned w = (usableWayFirst_ + i) % config_.ways;
+        const Line &line = lineAt(set, w);
+        if (!line.valid && !line.inverted)
+            return invertLine(set, w, now);
+    }
+    const int way = lruValidWay(set, false);
+    if (way < 0)
+        return false;
+    return invertLine(set, static_cast<unsigned>(way), now);
+}
+
+void
+Cache::setUsableSets(unsigned first, unsigned count, Cycle now)
+{
+    assert(count >= 1 && count <= numSets_);
+    assert(first < numSets_);
+    usableSetFirst_ = first;
+    usableSetCount_ = count;
+    // Every line in the now-unusable sets becomes inverted (valid
+    // contents are complemented in place; dead lines hold inverted
+    // garbage, which balances their cells just the same).
+    for (unsigned s = 0; s < numSets_; ++s) {
+        const bool usable =
+            ((s + numSets_ - first) % numSets_) < count;
+        if (usable)
+            continue;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            Line &line = lineAt(s, w);
+            if (!line.inverted)
+                invertLine(s, w, now);
+        }
+    }
+}
+
+void
+Cache::setUsableWays(unsigned first, unsigned count, Cycle now)
+{
+    assert(count >= 1 && count <= config_.ways);
+    assert(first < config_.ways);
+    usableWayFirst_ = first;
+    usableWayCount_ = count;
+    for (unsigned s = 0; s < numSets_; ++s) {
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const bool usable =
+                ((w + config_.ways - first) % config_.ways) < count;
+            if (usable)
+                continue;
+            Line &line = lineAt(s, w);
+            if (!line.inverted)
+                invertLine(s, w, now);
+        }
+    }
+}
+
+void
+Cache::setShadow(unsigned set, unsigned way, bool shadow)
+{
+    Line &line = lineAt(set, way);
+    if (line.shadow == shadow)
+        return;
+    line.shadow = shadow;
+    if (shadow)
+        ++shadowCount_;
+    else
+        --shadowCount_;
+}
+
+bool
+Cache::isShadow(unsigned set, unsigned way) const
+{
+    return lineAt(set, way).shadow;
+}
+
+void
+Cache::clearShadows()
+{
+    for (auto &line : lines_)
+        line.shadow = false;
+    shadowCount_ = 0;
+}
+
+bool
+Cache::shadowMarkLruLineOfSet(unsigned set)
+{
+    // Mirror invertLruLineOfSet: the shadow test must model the
+    // same target preference (dead lines first) or it would
+    // overestimate the induced extra misses.
+    for (unsigned i = 0; i < usableWayCount_; ++i) {
+        const unsigned w = (usableWayFirst_ + i) % config_.ways;
+        const Line &line = lineAt(set, w);
+        if (!line.valid && !line.inverted && !line.shadow) {
+            setShadow(set, w, true);
+            return true;
+        }
+    }
+    const int way = lruValidWay(set, true);
+    if (way < 0)
+        return false;
+    setShadow(set, static_cast<unsigned>(way), true);
+    return true;
+}
+
+bool
+Cache::lineValid(unsigned set, unsigned way) const
+{
+    return lineAt(set, way).valid;
+}
+
+bool
+Cache::lineInverted(unsigned set, unsigned way) const
+{
+    return lineAt(set, way).inverted;
+}
+
+const BitBiasTracker &
+Cache::finalizeDataBias(Cycle now)
+{
+    for (auto &line : lines_)
+        flushImage(line, now);
+    return dataBias_;
+}
+
+} // namespace penelope

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Set-associative cache model with NBTI inversion support
+ * (Section 3.2.1 / 4.6).
+ *
+ * The model serves two purposes: (i) performance evaluation of the
+ * inversion mechanisms (hits/misses/MRU-position statistics feeding
+ * the Table-3 experiment) and (ii) bit-cell stress accounting (each
+ * line carries a 64-bit data image whose per-bit residence time
+ * feeds a BitBiasTracker, demonstrating the bias 90% -> ~50% claim).
+ *
+ * Inversion state: a line is either valid (holding program data) or
+ * *inverted* -- invalid for lookups, its cells holding the bitwise
+ * complement of a sampled value so both PMOS devices of every cell
+ * age evenly.  The valid/state bits encode valid+non-inverted or
+ * invalid+inverted, exactly as the paper describes.
+ */
+
+#ifndef PENELOPE_CACHE_CACHE_HH
+#define PENELOPE_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/duty.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace penelope {
+
+class InversionPolicy;
+
+/** Replacement policy selection. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,       ///< true LRU
+    PseudoLru, ///< tree pLRU
+    Random,    ///< random victim
+};
+
+/** Static cache geometry and behaviour. */
+struct CacheConfig
+{
+    std::string name = "DL0";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    std::uint32_t lineBytes = 64;
+    ReplacementPolicy replacement = ReplacementPolicy::Lru;
+
+    /** Probability a spare write port is available for an inversion
+     *  update on any given cycle (Section 3.2: existing ports are
+     *  reused; updates that find no port are simply delayed). */
+    double writePortFreeProb = 0.9;
+
+    std::uint32_t numSets() const
+    {
+        return sizeBytes / (ways * lineBytes);
+    }
+    std::uint32_t numLines() const { return numSets() * ways; }
+
+    /** Convenience: TLB geometry expressed as a cache (one line per
+     *  page-table entry). */
+    static CacheConfig tlb(std::uint32_t entries,
+                           std::uint32_t ways = 8,
+                           std::uint32_t page_bytes = 4096);
+};
+
+/** Result of one cache access. */
+struct AccessResult
+{
+    bool hit = false;
+
+    /** Recency position of the hit way (0 = MRU). */
+    unsigned mruPosition = 0;
+
+    /** The replaced victim was an inverted line (on miss). */
+    bool consumedInvertedLine = false;
+
+    /** Hit landed on a shadow-marked line (dynamic-mechanism test
+     *  phase induced extra miss). */
+    bool shadowExtraMiss = false;
+};
+
+/**
+ * The cache proper.  Addresses are byte addresses; tags store the
+ * full line number so set remapping (set/way inversion) can never
+ * produce false hits.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+    ~Cache();
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    /** Install an inversion policy (may be null). */
+    void setPolicy(std::unique_ptr<InversionPolicy> policy);
+    InversionPolicy *policy() { return policy_.get(); }
+
+    /**
+     * Look up @p addr; allocate on miss.  @p data is the value image
+     * stored on a fill/write (used only for bias accounting).
+     */
+    AccessResult access(Addr addr, bool is_write, Cycle now,
+                        std::optional<Word> data = std::nullopt);
+
+    /** Advance policy machinery by one cycle. */
+    void tick(Cycle now);
+
+    /** @name Inversion manipulators (used by policies) */
+    /// @{
+    /** Invalidate and invert a specific line; returns false if the
+     *  line was already inverted. */
+    bool invertLine(unsigned set, unsigned way, Cycle now);
+
+    /** Invert the LRU valid line of @p set; false if none valid. */
+    bool invertLruLineOfSet(unsigned set, Cycle now);
+
+    /** Restrict lookups/allocation to a rotating window of sets
+     *  (other sets become inverted). */
+    void setUsableSets(unsigned first, unsigned count, Cycle now);
+
+    /** Restrict lookups/allocation to a rotating window of ways. */
+    void setUsableWays(unsigned first, unsigned count, Cycle now);
+
+    /** Mark/unmark a line as shadow-inverted (test phase). */
+    void setShadow(unsigned set, unsigned way, bool shadow);
+    bool isShadow(unsigned set, unsigned way) const;
+
+    /** Clear all shadow marks. */
+    void clearShadows();
+
+    /** Shadow analogue of invertLruLineOfSet. */
+    bool shadowMarkLruLineOfSet(unsigned set);
+    /// @}
+
+    /** @name Introspection */
+    /// @{
+    const CacheConfig &config() const { return config_; }
+    unsigned numSets() const { return numSets_; }
+    unsigned numWays() const { return config_.ways; }
+    unsigned numLines() const { return numSets_ * config_.ways; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+    double missRate() const;
+
+    /** Histogram of hit recency positions (Section 3.2.1). */
+    const CategoryCounter &mruHitPositions() const { return mruHits_; }
+
+    /** Number of currently inverted lines. */
+    unsigned invertedCount() const { return invertedCount_; }
+    unsigned shadowCount() const { return shadowCount_; }
+
+    /** Fraction of lines currently inverted. */
+    double invertRatio() const;
+
+    /** Time-average of the invert ratio since construction. */
+    double averageInvertRatio(Cycle now) const;
+
+    bool lineValid(unsigned set, unsigned way) const;
+    bool lineInverted(unsigned set, unsigned way) const;
+
+    /** Deterministic RNG used for random picks (seeded per cache). */
+    Rng &rng() { return rng_; }
+
+    /** Finish bias accounting up to @p now and return the per-bit
+     *  tracker for the stored data images. */
+    const BitBiasTracker &finalizeDataBias(Cycle now);
+    /// @}
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0; ///< full line number
+        bool valid = false;
+        bool inverted = false;
+        bool shadow = false;
+        Cycle lastUse = 0;
+        Word image = 0;        ///< stored data image (bias only)
+        Cycle imageSince = 0;
+    };
+
+    Line &lineAt(unsigned set, unsigned way);
+    const Line &lineAt(unsigned set, unsigned way) const;
+
+    /** Map a line number to its (possibly remapped) set. */
+    unsigned indexOf(std::uint64_t line_no) const;
+
+    /** Pick a victim way among usable ways of @p set. */
+    unsigned pickVictim(unsigned set, Cycle now);
+
+    /** Recency position of @p way within @p set (0 = MRU). */
+    unsigned recencyPosition(unsigned set, unsigned way) const;
+
+    /** LRU valid non-inverted way of @p set, or -1. */
+    int lruValidWay(unsigned set, bool skip_shadow) const;
+
+    /** Account the line's image residency up to @p now. */
+    void flushImage(Line &line, Cycle now);
+
+    /** Update RINV with the inversion of a value being stored. */
+    void sampleRinv(Word value);
+
+    CacheConfig config_;
+    unsigned numSets_;
+    std::vector<Line> lines_;
+    std::unique_ptr<InversionPolicy> policy_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    CategoryCounter mruHits_;
+    unsigned invertedCount_ = 0;
+    unsigned shadowCount_ = 0;
+
+    /** Rotating usable windows (set/way fixed mechanisms). */
+    unsigned usableSetFirst_ = 0;
+    unsigned usableSetCount_;
+    unsigned usableWayFirst_ = 0;
+    unsigned usableWayCount_;
+
+    /** Inverted sampled value register (Section 3.2). */
+    Word rinv_ = ~Word(0);
+    std::uint64_t rinvUpdateCounter_ = 0;
+
+    /** Invert-ratio time integral for averageInvertRatio(). */
+    double invertRatioIntegral_ = 0.0;
+    Cycle lastRatioUpdate_ = 0;
+
+    BitBiasTracker dataBias_;
+    Rng rng_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_CACHE_CACHE_HH

@@ -1,0 +1,190 @@
+#include "timing.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace penelope {
+
+const char *
+mechanismName(MechanismKind kind)
+{
+    switch (kind) {
+      case MechanismKind::None:
+        return "Baseline";
+      case MechanismKind::SetFixed50:
+        return "SetFixed50%";
+      case MechanismKind::WayFixed50:
+        return "WayFixed50%";
+      case MechanismKind::LineFixed50:
+        return "LineFixed50%";
+      case MechanismKind::LineDynamic60:
+        return "LineDynamic60%";
+    }
+    return "?";
+}
+
+std::unique_ptr<InversionPolicy>
+makeMechanism(MechanismKind kind, const CacheConfig &config,
+              bool is_tlb, double time_scale)
+{
+    switch (kind) {
+      case MechanismKind::None:
+        return nullptr;
+      case MechanismKind::SetFixed50:
+        return std::make_unique<SetFixedInversion>(
+            0.5, static_cast<Cycle>(10'000'000 * time_scale));
+      case MechanismKind::WayFixed50:
+        return std::make_unique<WayFixedInversion>(
+            0.5, static_cast<Cycle>(10'000'000 * time_scale));
+      case MechanismKind::LineFixed50:
+        return std::make_unique<LineFixedInversion>(0.5);
+      case MechanismKind::LineDynamic60: {
+        DynamicInversionParams p;
+        p.invertRatio = 0.6;
+        p.warmupCycles =
+            static_cast<Cycle>(200'000 * time_scale);
+        p.testCycles = static_cast<Cycle>(200'000 * time_scale);
+        p.periodCycles =
+            static_cast<Cycle>(10'000'000 * time_scale);
+        p.extraMissThreshold = is_tlb
+            ? dtlbExtraMissThreshold(
+                  config.sizeBytes / config.lineBytes)
+            : dl0ExtraMissThreshold(config.sizeBytes);
+        return std::make_unique<LineDynamicInversion>(p);
+      }
+    }
+    return nullptr;
+}
+
+MemTimingSim::MemTimingSim(const CacheConfig &dl0_config,
+                           const CacheConfig &dtlb_config,
+                           const MemTimingParams &params,
+                           MechanismKind dl0_mechanism,
+                           MechanismKind dtlb_mechanism,
+                           double time_scale)
+    : params_(params), dl0_(dl0_config), dtlb_(dtlb_config)
+{
+    dl0_.setPolicy(
+        makeMechanism(dl0_mechanism, dl0_config, false, time_scale));
+    dtlb_.setPolicy(
+        makeMechanism(dtlb_mechanism, dtlb_config, true,
+                      time_scale));
+}
+
+MemSimResult
+MemTimingSim::run(TraceGenerator &gen, std::size_t num_uops)
+{
+    MemSimResult r;
+    double cycles = 0.0;
+    for (std::size_t i = 0; i < num_uops; ++i) {
+        const Uop uop = gen.next();
+        const Cycle now = static_cast<Cycle>(cycles);
+        dl0_.tick(now);
+        dtlb_.tick(now);
+        cycles += params_.baseCpi;
+        if (isMemory(uop.cls)) {
+            ++r.memOps;
+            const bool is_write = uop.cls == UopClass::Store;
+            const Word data =
+                is_write ? uop.srcVal1 : uop.dstVal;
+            const AccessResult tlb =
+                dtlb_.access(uop.addr, false, now, uop.addr >> 12);
+            if (!tlb.hit)
+                cycles += params_.dtlbMissPenalty;
+            const AccessResult l1 =
+                dl0_.access(uop.addr, is_write, now, data);
+            if (!l1.hit)
+                cycles += params_.dl0MissPenalty;
+        }
+    }
+    r.uops = num_uops;
+    r.cycles = cycles;
+    r.dl0Hits = dl0_.hits();
+    r.dl0Misses = dl0_.misses();
+    r.dtlbHits = dtlb_.hits();
+    r.dtlbMisses = dtlb_.misses();
+    const Cycle end = static_cast<Cycle>(cycles);
+    r.dl0AvgInvertRatio = dl0_.averageInvertRatio(end);
+    r.dtlbAvgInvertRatio = dtlb_.averageInvertRatio(end);
+    return r;
+}
+
+PerfLossStats
+measurePerfLoss(const WorkloadSet &workload,
+                const std::vector<unsigned> &trace_indices,
+                std::size_t uops_per_trace,
+                const CacheConfig &dl0_config,
+                const CacheConfig &dtlb_config,
+                MechanismKind mechanism, bool apply_to_dl0,
+                const MemTimingParams &params, double time_scale)
+{
+    PerfLossStats stats;
+    RunningStats loss;
+    RunningStats ratio;
+    unsigned above5 = 0;
+    unsigned above10 = 0;
+    for (unsigned index : trace_indices) {
+        TraceGenerator base_gen = workload.generator(index);
+        MemTimingSim base(dl0_config, dtlb_config, params,
+                          MechanismKind::None, MechanismKind::None,
+                          time_scale);
+        const MemSimResult rb = base.run(base_gen, uops_per_trace);
+
+        TraceGenerator mech_gen = workload.generator(index);
+        MemTimingSim mech(
+            dl0_config, dtlb_config, params,
+            apply_to_dl0 ? mechanism : MechanismKind::None,
+            apply_to_dl0 ? MechanismKind::None : mechanism,
+            time_scale);
+        const MemSimResult rm = mech.run(mech_gen, uops_per_trace);
+
+        const double l = rm.cycles / rb.cycles - 1.0;
+        loss.add(l);
+        ratio.add(apply_to_dl0 ? rm.dl0AvgInvertRatio
+                               : rm.dtlbAvgInvertRatio);
+        if (l > 0.05)
+            ++above5;
+        if (l > 0.10)
+            ++above10;
+    }
+    stats.meanLoss = loss.mean();
+    stats.maxLoss = loss.count() ? loss.max() : 0.0;
+    stats.meanInvertRatio = ratio.mean();
+    stats.traces = static_cast<unsigned>(trace_indices.size());
+    if (stats.traces > 0) {
+        stats.fracAbove5Pct =
+            static_cast<double>(above5) / stats.traces;
+        stats.fracAbove10Pct =
+            static_cast<double>(above10) / stats.traces;
+    }
+    return stats;
+}
+
+double
+combinedNormalizedCpi(const WorkloadSet &workload,
+                      const std::vector<unsigned> &trace_indices,
+                      std::size_t uops_per_trace,
+                      const CacheConfig &dl0_config,
+                      const CacheConfig &dtlb_config,
+                      MechanismKind mechanism,
+                      const MemTimingParams &params,
+                      double time_scale)
+{
+    RunningStats norm;
+    for (unsigned index : trace_indices) {
+        TraceGenerator base_gen = workload.generator(index);
+        MemTimingSim base(dl0_config, dtlb_config, params,
+                          MechanismKind::None, MechanismKind::None,
+                          time_scale);
+        const MemSimResult rb = base.run(base_gen, uops_per_trace);
+
+        TraceGenerator mech_gen = workload.generator(index);
+        MemTimingSim mech(dl0_config, dtlb_config, params,
+                          mechanism, mechanism, time_scale);
+        const MemSimResult rm = mech.run(mech_gen, uops_per_trace);
+        norm.add(rm.cycles / rb.cycles);
+    }
+    return norm.mean();
+}
+
+} // namespace penelope

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Memory-hierarchy timing simulation for the Table-3 experiment.
+ *
+ * Performance is modelled additively: every uop contributes a base
+ * CPI; DL0 and DTLB misses add fixed penalties.  The performance
+ * *loss* of an inversion mechanism is the relative cycle increase
+ * against an identically-driven baseline run, which is exactly the
+ * quantity Table 3 reports (the paper's absolute CPI depends on its
+ * proprietary core model; the additive model preserves orderings and
+ * magnitudes of the deltas).
+ */
+
+#ifndef PENELOPE_CACHE_TIMING_HH
+#define PENELOPE_CACHE_TIMING_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache.hh"
+#include "inversion.hh"
+#include "trace/generator.hh"
+#include "trace/workload.hh"
+
+namespace penelope {
+
+/** Additive timing-model parameters. */
+struct MemTimingParams
+{
+    double baseCpi = 0.65;          ///< non-miss CPI per uop
+    unsigned dl0MissPenalty = 12;   ///< cycles per DL0 miss (L2 hit)
+    unsigned dtlbMissPenalty = 30;  ///< cycles per DTLB miss (walk)
+};
+
+/** Selectable inversion mechanism for experiment configuration. */
+enum class MechanismKind : std::uint8_t
+{
+    None,
+    SetFixed50,
+    WayFixed50,
+    LineFixed50,
+    LineDynamic60,
+};
+
+const char *mechanismName(MechanismKind kind);
+
+/**
+ * Instantiate a mechanism for a cache configuration.  Dynamic
+ * thresholds follow the paper's per-geometry values; @p is_tlb
+ * selects the DTLB threshold table.  Time constants are scaled by
+ * @p time_scale (1.0 = the paper's 200K/200K/10M cycles) so short
+ * synthetic traces exercise the full warmup/test/decide machinery.
+ */
+std::unique_ptr<InversionPolicy>
+makeMechanism(MechanismKind kind, const CacheConfig &config,
+              bool is_tlb, double time_scale = 1.0);
+
+/** Result of one trace run through the memory hierarchy. */
+struct MemSimResult
+{
+    std::uint64_t uops = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t dl0Hits = 0;
+    std::uint64_t dl0Misses = 0;
+    std::uint64_t dtlbHits = 0;
+    std::uint64_t dtlbMisses = 0;
+    double cycles = 0.0;
+    double dl0AvgInvertRatio = 0.0;
+    double dtlbAvgInvertRatio = 0.0;
+
+    double cpi() const
+    {
+        return uops ? cycles / static_cast<double>(uops) : 0.0;
+    }
+};
+
+/**
+ * One DL0 + DTLB pair driven by a uop stream.
+ */
+class MemTimingSim
+{
+  public:
+    MemTimingSim(const CacheConfig &dl0_config,
+                 const CacheConfig &dtlb_config,
+                 const MemTimingParams &params,
+                 MechanismKind dl0_mechanism,
+                 MechanismKind dtlb_mechanism,
+                 double time_scale = 1.0);
+
+    /** Run @p num_uops uops from @p gen. */
+    MemSimResult run(TraceGenerator &gen, std::size_t num_uops);
+
+    Cache &dl0() { return dl0_; }
+    Cache &dtlb() { return dtlb_; }
+
+  private:
+    MemTimingParams params_;
+    Cache dl0_;
+    Cache dtlb_;
+};
+
+/** Aggregated performance-loss statistics for Table 3. */
+struct PerfLossStats
+{
+    double meanLoss = 0.0;        ///< average relative cycle increase
+    double maxLoss = 0.0;
+    double fracAbove5Pct = 0.0;   ///< traces losing > 5%
+    double fracAbove10Pct = 0.0;  ///< traces losing > 10%
+    double meanInvertRatio = 0.0; ///< time-averaged invert ratio
+    unsigned traces = 0;
+};
+
+/**
+ * Measure the performance loss of @p mechanism applied to the DL0
+ * (@p apply_to_dl0 true) or the DTLB (false), against a
+ * no-mechanism baseline, averaged over the given workload traces.
+ */
+PerfLossStats
+measurePerfLoss(const WorkloadSet &workload,
+                const std::vector<unsigned> &trace_indices,
+                std::size_t uops_per_trace,
+                const CacheConfig &dl0_config,
+                const CacheConfig &dtlb_config,
+                MechanismKind mechanism, bool apply_to_dl0,
+                const MemTimingParams &params = MemTimingParams(),
+                double time_scale = 0.1);
+
+/**
+ * Combined normalised CPI with mechanisms on both DL0 and DTLB
+ * (the Section-4.7 input: 1.007 for LineFixed50% on both).
+ */
+double
+combinedNormalizedCpi(const WorkloadSet &workload,
+                      const std::vector<unsigned> &trace_indices,
+                      std::size_t uops_per_trace,
+                      const CacheConfig &dl0_config,
+                      const CacheConfig &dtlb_config,
+                      MechanismKind mechanism,
+                      const MemTimingParams &params =
+                          MemTimingParams(),
+                      double time_scale = 0.1);
+
+} // namespace penelope
+
+#endif // PENELOPE_CACHE_TIMING_HH

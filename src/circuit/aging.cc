@@ -1,0 +1,105 @@
+#include "aging.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace penelope {
+
+PmosAgingTracker::PmosAgingTracker(const Netlist &netlist)
+    : netlist_(netlist), duty_(netlist.numPmos())
+{
+}
+
+void
+PmosAgingTracker::observe(const std::vector<std::uint8_t> &signals,
+                          std::uint64_t dt)
+{
+    const auto &devices = netlist_.pmosDevices();
+    assert(devices.size() == duty_.size());
+    for (std::size_t i = 0; i < devices.size(); ++i)
+        duty_[i].observe(signals[devices[i].gateSignal] != 0, dt);
+}
+
+void
+PmosAgingTracker::applyInput(const std::vector<bool> &input_values,
+                             std::uint64_t dt)
+{
+    netlist_.evaluate(input_values, scratch_);
+    observe(scratch_, dt);
+}
+
+double
+PmosAgingTracker::zeroProb(std::size_t i) const
+{
+    return duty_.at(i).zeroProbability();
+}
+
+AgingSummary
+PmosAgingTracker::summarize(const GuardbandModel &model,
+                            double fully_stressed_threshold) const
+{
+    std::vector<double> probs(duty_.size());
+    for (std::size_t i = 0; i < duty_.size(); ++i)
+        probs[i] = duty_[i].zeroProbability();
+    return summarizeZeroProbs(netlist_, probs, model,
+                              fully_stressed_threshold);
+}
+
+std::vector<double>
+PmosAgingTracker::combinedZeroProbs(const PmosAgingTracker &other,
+                                    double self_weight) const
+{
+    assert(&other.netlist_ == &netlist_);
+    assert(self_weight >= 0.0 && self_weight <= 1.0);
+    std::vector<double> out(duty_.size());
+    for (std::size_t i = 0; i < duty_.size(); ++i) {
+        out[i] = self_weight * duty_[i].zeroProbability() +
+            (1.0 - self_weight) * other.duty_[i].zeroProbability();
+    }
+    return out;
+}
+
+AgingSummary
+PmosAgingTracker::summarizeZeroProbs(
+    const Netlist &netlist, const std::vector<double> &zero_probs,
+    const GuardbandModel &model, double fully_stressed_threshold)
+{
+    const auto &devices = netlist.pmosDevices();
+    assert(zero_probs.size() == devices.size());
+
+    AgingSummary s;
+    s.numDevices = devices.size();
+    std::size_t narrow_full = 0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const double p = zero_probs[i];
+        const bool narrow = devices[i].width == WidthClass::Narrow;
+        if (narrow) {
+            ++s.numNarrow;
+            s.worstNarrowZeroProb =
+                std::max(s.worstNarrowZeroProb, p);
+            if (p >= fully_stressed_threshold)
+                ++narrow_full;
+        } else {
+            ++s.numWide;
+            s.worstWideZeroProb = std::max(s.worstWideZeroProb, p);
+        }
+        s.guardband = std::max(
+            s.guardband,
+            model.guardbandForZeroProb(p, devices[i].width));
+    }
+    if (s.numDevices > 0) {
+        s.narrowFullyStressedFraction =
+            static_cast<double>(narrow_full) /
+            static_cast<double>(s.numDevices);
+    }
+    return s;
+}
+
+void
+PmosAgingTracker::reset()
+{
+    for (auto &d : duty_)
+        d.reset();
+}
+
+} // namespace penelope

@@ -1,0 +1,290 @@
+#include "netlist.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace penelope {
+
+SignalId
+Netlist::newSignal(std::uint32_t producer_gate)
+{
+    const SignalId id = static_cast<SignalId>(producers_.size());
+    producers_.push_back(producer_gate);
+    return id;
+}
+
+SignalId
+Netlist::addInput(const std::string &name)
+{
+    assert(!finalized_);
+    Gate g;
+    g.type = GateType::Input;
+    const auto gate_index = static_cast<std::uint32_t>(gates_.size());
+    g.output = newSignal(gate_index);
+    gates_.push_back(std::move(g));
+    inputs_.push_back(gates_.back().output);
+    inputNames_.push_back(
+        name.empty() ? "in" + std::to_string(inputs_.size() - 1)
+                     : name);
+    return gates_.back().output;
+}
+
+SignalId
+Netlist::addConst(bool value)
+{
+    assert(!finalized_);
+    Gate g;
+    g.type = value ? GateType::Const1 : GateType::Const0;
+    const auto gate_index = static_cast<std::uint32_t>(gates_.size());
+    g.output = newSignal(gate_index);
+    gates_.push_back(std::move(g));
+    return gates_.back().output;
+}
+
+SignalId
+Netlist::addInv(SignalId a)
+{
+    assert(!finalized_);
+    assert(a < producers_.size());
+    Gate g;
+    g.type = GateType::Inv;
+    g.inputs = {a};
+    const auto gate_index = static_cast<std::uint32_t>(gates_.size());
+    g.output = newSignal(gate_index);
+    gates_.push_back(std::move(g));
+    return gates_.back().output;
+}
+
+SignalId
+Netlist::addNand(const std::vector<SignalId> &inputs)
+{
+    assert(!finalized_);
+    assert(inputs.size() >= 2);
+    for ([[maybe_unused]] auto s : inputs)
+        assert(s < producers_.size());
+    Gate g;
+    g.type = GateType::Nand;
+    g.inputs = inputs;
+    const auto gate_index = static_cast<std::uint32_t>(gates_.size());
+    g.output = newSignal(gate_index);
+    gates_.push_back(std::move(g));
+    return gates_.back().output;
+}
+
+SignalId
+Netlist::addNor(const std::vector<SignalId> &inputs)
+{
+    assert(!finalized_);
+    assert(inputs.size() >= 2);
+    for ([[maybe_unused]] auto s : inputs)
+        assert(s < producers_.size());
+    Gate g;
+    g.type = GateType::Nor;
+    g.inputs = inputs;
+    const auto gate_index = static_cast<std::uint32_t>(gates_.size());
+    g.output = newSignal(gate_index);
+    gates_.push_back(std::move(g));
+    return gates_.back().output;
+}
+
+SignalId
+Netlist::addBuf(SignalId a)
+{
+    return addInv(addInv(a));
+}
+
+SignalId
+Netlist::addAnd(SignalId a, SignalId b)
+{
+    return addInv(addNand({a, b}));
+}
+
+SignalId
+Netlist::addOr(SignalId a, SignalId b)
+{
+    return addInv(addNor({a, b}));
+}
+
+SignalId
+Netlist::addXor(SignalId a, SignalId b)
+{
+    // Standard 4-NAND XOR.
+    const SignalId n1 = addNand({a, b});
+    const SignalId n2 = addNand({a, n1});
+    const SignalId n3 = addNand({b, n1});
+    return addNand({n2, n3});
+}
+
+SignalId
+Netlist::addXnor(SignalId a, SignalId b)
+{
+    return addInv(addXor(a, b));
+}
+
+SignalId
+Netlist::addMux(SignalId sel, SignalId a, SignalId b)
+{
+    // out = (a NAND sel) NAND (b NAND !sel)
+    const SignalId nsel = addInv(sel);
+    const SignalId t1 = addNand({a, sel});
+    const SignalId t2 = addNand({b, nsel});
+    return addNand({t1, t2});
+}
+
+SignalId
+Netlist::addTgXor(SignalId a, SignalId b)
+{
+    assert(!finalized_);
+    const SignalId na = addInv(a); // PMOS gated by a
+    const SignalId nb = addInv(b); // PMOS gated by b
+    // TG pair: PMOS devices gated by na and nb; logically a XOR b.
+    Gate g;
+    g.type = GateType::TgPass;
+    g.inputs = {a, b, na, nb};
+    const auto gate_index = static_cast<std::uint32_t>(gates_.size());
+    g.output = newSignal(gate_index);
+    gates_.push_back(std::move(g));
+    return gates_.back().output;
+}
+
+void
+Netlist::markWide(SignalId s)
+{
+    assert(!finalized_);
+    assert(s < producers_.size());
+    forcedWide_.push_back(producers_[s]);
+}
+
+const std::string &
+Netlist::inputName(std::size_t i) const
+{
+    return inputNames_.at(i);
+}
+
+void
+Netlist::evaluate(const std::vector<bool> &input_values,
+                  std::vector<std::uint8_t> &signals) const
+{
+    assert(input_values.size() == inputs_.size());
+    signals.resize(producers_.size());
+    std::size_t next_input = 0;
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate &g = gates_[i];
+        switch (g.type) {
+          case GateType::Input:
+            signals[g.output] = input_values[next_input++] ? 1 : 0;
+            break;
+          case GateType::Const0:
+            signals[g.output] = 0;
+            break;
+          case GateType::Const1:
+            signals[g.output] = 1;
+            break;
+          case GateType::Inv:
+            signals[g.output] = signals[g.inputs[0]] ^ 1;
+            break;
+          case GateType::Nand: {
+            std::uint8_t all = 1;
+            for (auto s : g.inputs)
+                all &= signals[s];
+            signals[g.output] = all ^ 1;
+            break;
+          }
+          case GateType::Nor: {
+            std::uint8_t any = 0;
+            for (auto s : g.inputs)
+                any |= signals[s];
+            signals[g.output] = any ^ 1;
+            break;
+          }
+          case GateType::TgPass:
+            signals[g.output] =
+                signals[g.inputs[0]] ^ signals[g.inputs[1]];
+            break;
+        }
+    }
+}
+
+void
+Netlist::finalize(unsigned wide_fanout)
+{
+    fanout_.assign(producers_.size(), 0);
+    for (const Gate &g : gates_)
+        for (auto s : g.inputs)
+            ++fanout_[s];
+
+    // Width classes: a gate driving >= wide_fanout consumers is
+    // implemented with upsized transistors, as are gates the
+    // builder explicitly marked (carry-merge chains).
+    for (Gate &g : gates_) {
+        if (g.type == GateType::Input || g.type == GateType::Const0 ||
+            g.type == GateType::Const1) {
+            continue;
+        }
+        g.width = fanout_[g.output] >= wide_fanout
+            ? WidthClass::Wide : WidthClass::Narrow;
+    }
+    for (auto gate_index : forcedWide_)
+        gates_.at(gate_index).width = WidthClass::Wide;
+
+    // PMOS extraction: one device per primitive-gate input, tied to
+    // that input signal, sized with the owning gate's class.  A
+    // TG-XOR's pass devices are gated by the operand complements
+    // (inputs 2 and 3 of the TgPass record).
+    pmos_.clear();
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate &g = gates_[i];
+        if (g.type == GateType::Inv || g.type == GateType::Nand ||
+            g.type == GateType::Nor) {
+            for (auto s : g.inputs) {
+                pmos_.push_back(
+                    {s, static_cast<std::uint32_t>(i), g.width});
+            }
+        } else if (g.type == GateType::TgPass) {
+            pmos_.push_back(
+                {g.inputs[2], static_cast<std::uint32_t>(i),
+                 g.width});
+            pmos_.push_back(
+                {g.inputs[3], static_cast<std::uint32_t>(i),
+                 g.width});
+        }
+    }
+
+    // Logic depth.
+    std::vector<unsigned> sig_depth(producers_.size(), 0);
+    depth_ = 0;
+    for (const Gate &g : gates_) {
+        if (g.type == GateType::Input || g.type == GateType::Const0 ||
+            g.type == GateType::Const1) {
+            sig_depth[g.output] = 0;
+            continue;
+        }
+        unsigned d = 0;
+        for (auto s : g.inputs)
+            d = std::max(d, sig_depth[s]);
+        sig_depth[g.output] = d + 1;
+        depth_ = std::max(depth_, d + 1);
+    }
+
+    finalized_ = true;
+}
+
+const std::vector<PmosDevice> &
+Netlist::pmosDevices() const
+{
+    assert(finalized_);
+    return pmos_;
+}
+
+SignalId
+buildFigure2Circuit(Netlist &netlist)
+{
+    const SignalId a = netlist.addInput("A");
+    const SignalId b = netlist.addInput("B");
+    const SignalId c = netlist.addInput("C");
+    const SignalId nand_ab = netlist.addNand({a, b});
+    const SignalId nor_out = netlist.addNor({nand_ab, c});
+    return netlist.addInv(nor_out);
+}
+
+} // namespace penelope

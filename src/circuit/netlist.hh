@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Gate-level netlist with static-CMOS PMOS extraction.
+ *
+ * The combinational-block experiments (Sections 3.1 and 4.3) need
+ * per-PMOS-transistor zero-signal probabilities.  A netlist is built
+ * from inverting CMOS primitives (INV / NAND / NOR); convenience
+ * builders compose AND, OR, XOR, XNOR and MUX from them the way a
+ * standard-cell library would.  Every primitive gate contributes one
+ * PMOS device per input, whose gate terminal is tied to that input
+ * signal; a PMOS is under NBTI stress exactly when its input signal
+ * is "0".
+ *
+ * Width classes: gates that drive many consumers are implemented
+ * with upsized (wide) devices.  Wide PMOS degrade far less under the
+ * same stress (Section 4.3 / Xuan [19]), which the aging analysis
+ * accounts for.
+ */
+
+#ifndef PENELOPE_CIRCUIT_NETLIST_HH
+#define PENELOPE_CIRCUIT_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nbti/guardband.hh"
+
+namespace penelope {
+
+/** Index of a signal (net) in the netlist. */
+using SignalId = std::uint32_t;
+
+inline constexpr SignalId invalidSignal = ~SignalId(0);
+
+/** CMOS primitive gate types. */
+enum class GateType : std::uint8_t
+{
+    Input,  ///< primary input (no transistors)
+    Const0, ///< tie-low (no transistors)
+    Const1, ///< tie-high (no transistors)
+    Inv,    ///< inverter: 1 PMOS
+    Nand,   ///< k-input NAND: k parallel PMOS
+    Nor,    ///< k-input NOR: k series (stacked) PMOS
+    TgPass, ///< transmission-gate pair of a TG-XOR: 2 PMOS gated
+            ///< by the select and its complement; logic value is
+            ///< input[0] XOR input[1] (see addTgXor)
+};
+
+/** One PMOS device extracted from the netlist. */
+struct PmosDevice
+{
+    /** Signal tied to the device's gate terminal. */
+    SignalId gateSignal;
+
+    /** Owning gate index. */
+    std::uint32_t gateIndex;
+
+    /** Device sizing class. */
+    WidthClass width;
+};
+
+/**
+ * A combinational netlist.  Gates must be created in topological
+ * order (inputs before consumers), which the builder API enforces
+ * naturally because operands are SignalIds of existing nets.
+ */
+class Netlist
+{
+  public:
+    struct Gate
+    {
+        GateType type;
+        std::vector<SignalId> inputs;
+        SignalId output;
+        WidthClass width = WidthClass::Narrow;
+    };
+
+    Netlist() = default;
+
+    /** @name Primitive builders */
+    /// @{
+    SignalId addInput(const std::string &name = std::string());
+    SignalId addConst(bool value);
+    SignalId addInv(SignalId a);
+    SignalId addNand(const std::vector<SignalId> &inputs);
+    SignalId addNor(const std::vector<SignalId> &inputs);
+    /// @}
+
+    /** @name Composite builders (standard-cell decompositions) */
+    /// @{
+    SignalId addBuf(SignalId a);              ///< 2 inverters
+    SignalId addAnd(SignalId a, SignalId b);  ///< NAND + INV
+    SignalId addOr(SignalId a, SignalId b);   ///< NOR + INV
+    SignalId addXor(SignalId a, SignalId b);  ///< 4 NAND
+    SignalId addXnor(SignalId a, SignalId b); ///< XOR + INV
+    /** 2:1 mux: out = sel ? a : b (NAND-based). */
+    SignalId addMux(SignalId sel, SignalId a, SignalId b);
+
+    /**
+     * Transmission-gate XOR, the standard datapath XOR cell: two
+     * input inverters plus a TG pair steered by a / !a.  4 PMOS
+     * total, each gated by a primary operand or its complement, so
+     * alternating operands leave no device fully stressed.
+     */
+    SignalId addTgXor(SignalId a, SignalId b);
+    /// @}
+
+    /**
+     * Force the producing gate of @p s (and, for composite cells,
+     * the cell's internal gates if marked individually) into the
+     * wide class at finalize() time.  Used for carry-merge gates
+     * that a real layout upsizes regardless of fanout.
+     */
+    void markWide(SignalId s);
+
+    std::size_t numSignals() const { return producers_.size(); }
+    std::size_t numGates() const { return gates_.size(); }
+    std::size_t numInputs() const { return inputs_.size(); }
+
+    const Gate &gate(std::size_t i) const { return gates_.at(i); }
+    const std::vector<SignalId> &inputs() const { return inputs_; }
+    const std::string &inputName(std::size_t i) const;
+
+    /**
+     * Evaluate the netlist.  @p input_values must supply one value
+     * per primary input, in creation order.  @p signals is resized
+     * to numSignals() and receives every net's value.
+     */
+    void evaluate(const std::vector<bool> &input_values,
+                  std::vector<std::uint8_t> &signals) const;
+
+    /**
+     * Finalise the netlist: derive fanout counts, assign width
+     * classes (gates with output fanout >= @p wide_fanout become
+     * wide) and extract the PMOS device list.  Must be called before
+     * pmosDevices(); further gate creation invalidates it.
+     */
+    void finalize(unsigned wide_fanout = 4);
+
+    /** Extracted PMOS devices (valid after finalize()). */
+    const std::vector<PmosDevice> &pmosDevices() const;
+
+    /** Total PMOS count (valid after finalize()). */
+    std::size_t numPmos() const { return pmos_.size(); }
+
+    /** Fanout (number of gate inputs fed) of a signal. */
+    unsigned fanout(SignalId s) const { return fanout_.at(s); }
+
+    /** Logic depth in primitive gates (valid after finalize()). */
+    unsigned depth() const { return depth_; }
+
+  private:
+    SignalId newSignal(std::uint32_t producer_gate);
+
+    std::vector<Gate> gates_;
+    /** Producing gate index for each signal. */
+    std::vector<std::uint32_t> producers_;
+    std::vector<SignalId> inputs_;
+    std::vector<std::string> inputNames_;
+    std::vector<unsigned> fanout_;
+    std::vector<PmosDevice> pmos_;
+    std::vector<std::uint32_t> forcedWide_;
+    unsigned depth_ = 0;
+    bool finalized_ = false;
+};
+
+/**
+ * Builds the example circuit of the paper's Figure 2:
+ * D = NOT(NOR(NAND(A, B), C)); the output inverter's PMOS observes D.
+ * Returns the output signal; inputs are created as A, B, C.
+ */
+SignalId buildFigure2Circuit(Netlist &netlist);
+
+} // namespace penelope
+
+#endif // PENELOPE_CIRCUIT_NETLIST_HH

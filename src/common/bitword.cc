@@ -1,0 +1,89 @@
+#include "bitword.hh"
+
+#include <bit>
+
+namespace penelope {
+
+BitWord::BitWord(unsigned width)
+    : lo_(0), hi_(0), width_(width)
+{
+    assert(width_ >= 1 && width_ <= 128);
+}
+
+BitWord::BitWord(unsigned width, std::uint64_t lo, std::uint64_t hi)
+    : lo_(lo), hi_(hi), width_(width)
+{
+    assert(width_ >= 1 && width_ <= 128);
+    maskToWidth();
+}
+
+void
+BitWord::maskToWidth()
+{
+    if (width_ < 64) {
+        lo_ &= (std::uint64_t(1) << width_) - 1;
+        hi_ = 0;
+    } else if (width_ < 128) {
+        if (width_ == 64)
+            hi_ = 0;
+        else
+            hi_ &= (std::uint64_t(1) << (width_ - 64)) - 1;
+    }
+}
+
+bool
+BitWord::bit(unsigned i) const
+{
+    assert(i < width_);
+    if (i < 64)
+        return (lo_ >> i) & 1;
+    return (hi_ >> (i - 64)) & 1;
+}
+
+void
+BitWord::setBit(unsigned i, bool v)
+{
+    assert(i < width_);
+    if (i < 64) {
+        if (v)
+            lo_ |= std::uint64_t(1) << i;
+        else
+            lo_ &= ~(std::uint64_t(1) << i);
+    } else {
+        if (v)
+            hi_ |= std::uint64_t(1) << (i - 64);
+        else
+            hi_ &= ~(std::uint64_t(1) << (i - 64));
+    }
+}
+
+BitWord
+BitWord::inverted() const
+{
+    return BitWord(width_, ~lo_, ~hi_);
+}
+
+unsigned
+BitWord::popcount() const
+{
+    return static_cast<unsigned>(std::popcount(lo_) +
+                                 std::popcount(hi_));
+}
+
+bool
+BitWord::operator==(const BitWord &o) const
+{
+    return width_ == o.width_ && lo_ == o.lo_ && hi_ == o.hi_;
+}
+
+std::string
+BitWord::toString() const
+{
+    std::string s;
+    s.reserve(width_);
+    for (unsigned i = width_; i-- > 0;)
+        s.push_back(bit(i) ? '1' : '0');
+    return s;
+}
+
+} // namespace penelope

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * BitWord: a fixed-width (<=128 bits) datapath value.
+ *
+ * Register files in Penelope store values up to 80 bits wide (x87 FP
+ * registers); BitWord provides per-bit access, inversion and biasing
+ * helpers independent of the physical width.
+ */
+
+#ifndef PENELOPE_COMMON_BITWORD_HH
+#define PENELOPE_COMMON_BITWORD_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace penelope {
+
+/**
+ * Value container of up to 128 bits with explicit width.
+ *
+ * Bits above the width are always kept at zero, so equality and
+ * inversion behave as expected for any width.
+ */
+class BitWord
+{
+  public:
+    /** Zero value of the given width. */
+    explicit BitWord(unsigned width = 64);
+
+    /** Construct from a 64-bit value (width up to 128). */
+    BitWord(unsigned width, std::uint64_t lo, std::uint64_t hi = 0);
+
+    unsigned width() const { return width_; }
+
+    /** Get bit i (0 = LSB). */
+    bool bit(unsigned i) const;
+
+    /** Set bit i to v. */
+    void setBit(unsigned i, bool v);
+
+    /** Low 64 bits. */
+    std::uint64_t lo() const { return lo_; }
+
+    /** High bits (bit 64 and up). */
+    std::uint64_t hi() const { return hi_; }
+
+    /** Bitwise NOT within the width. */
+    BitWord inverted() const;
+
+    /** Number of set bits. */
+    unsigned popcount() const;
+
+    bool operator==(const BitWord &o) const;
+    bool operator!=(const BitWord &o) const { return !(*this == o); }
+
+    /** Binary string, MSB first (for diagnostics). */
+    std::string toString() const;
+
+  private:
+    /** Clear any bits at or above width_. */
+    void maskToWidth();
+
+    std::uint64_t lo_;
+    std::uint64_t hi_;
+    unsigned width_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_COMMON_BITWORD_HH

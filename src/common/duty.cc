@@ -1,0 +1,131 @@
+#include "duty.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace penelope {
+
+double
+DutyCycleCounter::zeroProbability() const
+{
+    if (totalTime_ == 0)
+        return 0.5;
+    return static_cast<double>(zeroTime_) /
+        static_cast<double>(totalTime_);
+}
+
+double
+DutyCycleCounter::worstCaseStress() const
+{
+    const double p0 = zeroProbability();
+    return std::max(p0, 1.0 - p0);
+}
+
+void
+DutyCycleCounter::merge(const DutyCycleCounter &other)
+{
+    zeroTime_ += other.zeroTime_;
+    totalTime_ += other.totalTime_;
+}
+
+void
+DutyCycleCounter::reset()
+{
+    zeroTime_ = 0;
+    totalTime_ = 0;
+}
+
+BitBiasTracker::BitBiasTracker(unsigned width)
+    : bits_(width)
+{
+    assert(width >= 1);
+}
+
+void
+BitBiasTracker::observe(const BitWord &value, std::uint64_t dt)
+{
+    assert(value.width() >= width());
+    for (unsigned i = 0; i < width(); ++i)
+        bits_[i].observe(value.bit(i), dt);
+}
+
+void
+BitBiasTracker::observe(Word value, std::uint64_t dt)
+{
+    for (unsigned i = 0; i < width(); ++i) {
+        const bool level = i < 64 ? ((value >> i) & 1) : false;
+        bits_[i].observe(level, dt);
+    }
+}
+
+double
+BitBiasTracker::zeroProbability(unsigned bit) const
+{
+    return bits_.at(bit).zeroProbability();
+}
+
+double
+BitBiasTracker::worstCaseStress(unsigned bit) const
+{
+    return bits_.at(bit).worstCaseStress();
+}
+
+double
+BitBiasTracker::maxZeroProbability() const
+{
+    double best = 0.0;
+    for (const auto &c : bits_)
+        best = std::max(best, c.zeroProbability());
+    return best;
+}
+
+double
+BitBiasTracker::minZeroProbability() const
+{
+    double best = 1.0;
+    for (const auto &c : bits_)
+        best = std::min(best, c.zeroProbability());
+    return best;
+}
+
+double
+BitBiasTracker::maxWorstCaseStress() const
+{
+    double best = 0.5;
+    for (const auto &c : bits_)
+        best = std::max(best, c.worstCaseStress());
+    return best;
+}
+
+std::vector<double>
+BitBiasTracker::biasVector() const
+{
+    std::vector<double> v;
+    v.reserve(width());
+    for (const auto &c : bits_)
+        v.push_back(c.zeroProbability());
+    return v;
+}
+
+const DutyCycleCounter &
+BitBiasTracker::counter(unsigned bit) const
+{
+    return bits_.at(bit);
+}
+
+void
+BitBiasTracker::merge(const BitBiasTracker &other)
+{
+    assert(other.width() == width());
+    for (unsigned i = 0; i < width(); ++i)
+        bits_[i].merge(other.bits_[i]);
+}
+
+void
+BitBiasTracker::reset()
+{
+    for (auto &c : bits_)
+        c.reset();
+}
+
+} // namespace penelope

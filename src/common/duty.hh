@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Duty-cycle accounting: the central instrumentation of Penelope.
+ *
+ * NBTI degradation of a PMOS transistor is driven by its zero-signal
+ * probability: the fraction of time its gate observes logic "0".
+ * DutyCycleCounter accumulates that probability for one signal;
+ * BitBiasTracker does so for every bit cell of a storage structure
+ * (where bias towards "0" stresses one of the two cross-coupled
+ * inverters' PMOS devices).
+ */
+
+#ifndef PENELOPE_COMMON_DUTY_HH
+#define PENELOPE_COMMON_DUTY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bitword.hh"
+#include "types.hh"
+
+namespace penelope {
+
+/**
+ * Accumulates the amount of time a single digital signal spends at
+ * logic "0" vs logic "1".
+ */
+class DutyCycleCounter
+{
+  public:
+    DutyCycleCounter() : zeroTime_(0), totalTime_(0) {}
+
+    /** Record that the signal held @p level for @p dt time units. */
+    void
+    observe(bool level, std::uint64_t dt = 1)
+    {
+        if (!level)
+            zeroTime_ += dt;
+        totalTime_ += dt;
+    }
+
+    /** Fraction of observed time at "0" (0.5 if never observed). */
+    double zeroProbability() const;
+
+    /** Fraction of observed time at "1". */
+    double oneProbability() const { return 1.0 - zeroProbability(); }
+
+    /**
+     * Worst-case stress probability for a bit cell holding this
+     * signal: the more-stressed of the two PMOS devices, i.e.\
+     * max(p0, 1-p0).  Always >= 0.5.
+     */
+    double worstCaseStress() const;
+
+    std::uint64_t totalTime() const { return totalTime_; }
+    std::uint64_t zeroTime() const { return zeroTime_; }
+
+    void merge(const DutyCycleCounter &other);
+    void reset();
+
+  private:
+    std::uint64_t zeroTime_;
+    std::uint64_t totalTime_;
+};
+
+/**
+ * Tracks per-bit "0" bias for a multi-bit storage field.
+ *
+ * The tracker is time-weighted: call observe() with the currently
+ * stored value and the number of cycles it has been held.
+ */
+class BitBiasTracker
+{
+  public:
+    explicit BitBiasTracker(unsigned width);
+
+    unsigned width() const { return bits_.size(); }
+
+    /** Record @p value held for @p dt cycles. */
+    void observe(const BitWord &value, std::uint64_t dt = 1);
+
+    /** Record a plain 64-bit value held for @p dt cycles. */
+    void observe(Word value, std::uint64_t dt = 1);
+
+    /** Per-bit zero probability. */
+    double zeroProbability(unsigned bit) const;
+
+    /** Per-bit worst-case stress (max of p0, 1-p0). */
+    double worstCaseStress(unsigned bit) const;
+
+    /** Highest zero probability over all bits. */
+    double maxZeroProbability() const;
+
+    /** Lowest zero probability over all bits. */
+    double minZeroProbability() const;
+
+    /** Highest worst-case stress over all bits (>= 0.5). */
+    double maxWorstCaseStress() const;
+
+    /** All per-bit zero probabilities, LSB first. */
+    std::vector<double> biasVector() const;
+
+    const DutyCycleCounter &counter(unsigned bit) const;
+
+    void merge(const BitBiasTracker &other);
+    void reset();
+
+  private:
+    std::vector<DutyCycleCounter> bits_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_COMMON_DUTY_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for all simulators.
+ *
+ * Every stochastic component in Penelope draws from an explicitly
+ * seeded Rng so that experiments are exactly reproducible.  The
+ * generator is xoshiro256** seeded through SplitMix64, which is fast,
+ * has a 256-bit state and passes BigCrush.
+ */
+
+#ifndef PENELOPE_COMMON_RNG_HH
+#define PENELOPE_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace penelope {
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator named requirement so it can
+ * also be plugged into <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t operator()();
+
+    /** Uniform integer in [0, bound) ; bound must be > 0. */
+    std::uint64_t nextInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p = 0.5);
+
+    /** Standard normal draw (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /**
+     * Geometric draw: number of failures before first success with
+     * per-trial success probability p (p in (0, 1]).
+     */
+    std::uint64_t nextGeometric(double p);
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent s.  Uses a
+     * precomputed CDF supplied by ZipfTable for efficiency; this
+     * convenience overload rebuilds a small CDF when n is tiny.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+    /** Re-seed the generator (deterministic state reset). */
+    void reseed(std::uint64_t seed);
+
+    /** Fork a statistically independent child stream. */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double cachedGaussian_;
+    bool hasCachedGaussian_;
+};
+
+/**
+ * Precomputed Zipf sampler over [0, n) with exponent s.
+ *
+ * Building the CDF is O(n); each draw is O(log n).  Used by the trace
+ * generator for cache-line popularity distributions.
+ */
+class ZipfTable
+{
+  public:
+    ZipfTable(std::uint64_t n, double s);
+
+    /** Number of ranks. */
+    std::uint64_t size() const { return cdf_.size(); }
+
+    /** Draw a rank using the supplied Rng. */
+    std::uint64_t sample(Rng &rng) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_COMMON_RNG_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar types shared by all Penelope libraries.
+ */
+
+#ifndef PENELOPE_COMMON_TYPES_HH
+#define PENELOPE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace penelope {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated byte address (virtual or physical). */
+using Addr = std::uint64_t;
+
+/** 64-bit data word as flows through the datapath. */
+using Word = std::uint64_t;
+
+/** Tick count used by the electrical-level aging model (nanoseconds). */
+using Tick = std::uint64_t;
+
+/** Invalid / sentinel cycle value. */
+inline constexpr Cycle invalidCycle = ~Cycle(0);
+
+/** Invalid / sentinel address value. */
+inline constexpr Addr invalidAddr = ~Addr(0);
+
+} // namespace penelope
+
+#endif // PENELOPE_COMMON_TYPES_HH

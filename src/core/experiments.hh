@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Canned experiment runners reproducing the paper's evaluation.
+ *
+ * Each runner corresponds to a figure/table of the paper and is
+ * shared between the benchmark binaries, the examples and the
+ * integration tests.  Runtime is controlled by ExperimentOptions
+ * (trace subsetting and per-trace uop counts); the defaults complete
+ * in seconds while preserving the statistical shape of the full
+ * 531-trace runs.
+ */
+
+#ifndef PENELOPE_CORE_EXPERIMENTS_HH
+#define PENELOPE_CORE_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adder/analysis.hh"
+#include "cache/timing.hh"
+#include "nbti/efficiency.hh"
+#include "nbti/guardband.hh"
+#include "pipeline/pipeline.hh"
+#include "regfile/driver.hh"
+#include "scheduler/profile.hh"
+#include "trace/workload.hh"
+
+namespace penelope {
+
+/** Experiment sizing knobs. */
+struct ExperimentOptions
+{
+    /** Use every n-th trace of the 531 (1 = full workload). */
+    unsigned traceStride = 8;
+
+    /** Uops per trace for structure/bias experiments. */
+    std::size_t uopsPerTrace = 40'000;
+
+    /** Uops per trace for cache timing runs. */
+    std::size_t cacheUops = 60'000;
+
+    /** Operand samples for the adder electrical aging. */
+    std::size_t adderOperandSamples = 2'000;
+
+    /** Traces in the scheduler profiling set (paper: 100). */
+    unsigned profilingTraces = 100;
+
+    /** Scaling for mechanism warmup/test/period time constants. */
+    double mechanismTimeScale = 0.05;
+};
+
+// -------------------------------------------------------------- adder
+
+/** Figure 4 + Figure 5 results. */
+struct AdderExperimentResult
+{
+    std::vector<PairSweepEntry> pairSweep; ///< Figure 4
+    InputPair bestPair = {0, 7};
+
+    double baselineGuardband = 0.0; ///< real inputs all the time
+
+    struct Scenario
+    {
+        double utilization;
+        double guardband;
+    };
+    /** Figure 5 scenarios at 30% / 21% / 11% utilisation. */
+    std::vector<Scenario> scenarios;
+
+    /** Adder utilisation measured in the pipeline. */
+    double priorityUtilMin = 0.0;
+    double priorityUtilMax = 0.0;
+    double uniformUtil = 0.0;
+
+    /** NBTIefficiency at the worst-case (30%) utilisation. */
+    double efficiency = 0.0;
+};
+
+AdderExperimentResult
+runAdderExperiment(const WorkloadSet &workload,
+                   const ExperimentOptions &options);
+
+// ------------------------------------------------------ register file
+
+/** Figure 6 results for one register file. */
+struct RegFileExperimentResult
+{
+    std::string name;
+    std::vector<double> baselineBias; ///< per bit, towards "0"
+    std::vector<double> isvBias;
+    double baselineWorst = 0.0; ///< max over bits of max(p, 1-p)
+    double isvWorst = 0.0;
+    double freeFraction = 0.0;  ///< paper: 54% INT / 69% FP
+    double guardbandBaseline = 0.0;
+    double guardbandIsv = 0.0;
+    IsvStats isvStats;
+};
+
+RegFileExperimentResult
+runRegFileExperiment(const WorkloadSet &workload, bool fp,
+                     const ExperimentOptions &options);
+
+// ---------------------------------------------------------- scheduler
+
+/** Figure 8 results. */
+struct SchedulerExperimentResult
+{
+    std::vector<double> baselineBias;  ///< 144 bits, layout order
+    std::vector<double> protectedBias;
+    double baselineWorstFig8 = 0.0;
+    double protectedWorstFig8 = 0.0;
+    double occupancy = 0.0; ///< paper: 63%
+    std::vector<FieldTechniqueSummary> techniques;
+    double guardband = 0.0;
+    double efficiency = 0.0;
+};
+
+SchedulerExperimentResult
+runSchedulerExperiment(const WorkloadSet &workload,
+                       const ExperimentOptions &options);
+
+// -------------------------------------------------------------- cache
+
+/** One Table-3 row. */
+struct Table3Row
+{
+    std::string label;
+    bool isTlb = false;
+    CacheConfig config;
+    /** Losses for SetFixed50%, LineFixed50%, LineDynamic60%. */
+    double loss[3] = {0, 0, 0};
+    double invertRatio[3] = {0, 0, 0};
+};
+
+std::vector<Table3Row>
+runTable3Experiment(const WorkloadSet &workload,
+                    const ExperimentOptions &options);
+
+// ---------------------------------------------------- processor (4.7)
+
+/** Section 4.7 roll-up. */
+struct ProcessorSummary
+{
+    /** Combined CPI with LineFixed50% on DL0 + DTLB (the paper's
+     *  4.7 configuration). */
+    double combinedCpi = 1.0;
+
+    /** Combined CPI with LineDynamic60% (the best Table-3
+     *  mechanism; our synthetic population is more cache-sensitive
+     *  than the paper's under LineFixed). */
+    double combinedCpiDynamic = 1.0;
+
+    std::vector<BlockCost> blocks;
+
+    /** Roll-up with the LineFixed50% CPI (paper configuration). */
+    double penelopeEfficiency = 0.0;
+
+    /** Roll-up with the LineDynamic60% CPI. */
+    double penelopeEfficiencyDynamic = 0.0;
+
+    double baselineEfficiency = 0.0; ///< 20% guardband, no action
+    double invertEfficiency = 0.0;   ///< periodic inversion
+    double maxGuardband = 0.0;
+};
+
+ProcessorSummary
+buildProcessorSummary(const AdderExperimentResult &adder,
+                      const RegFileExperimentResult &int_rf,
+                      const RegFileExperimentResult &fp_rf,
+                      const SchedulerExperimentResult &scheduler,
+                      const WorkloadSet &workload,
+                      const ExperimentOptions &options);
+
+/** Pipeline-level statistics on a subset (motivation numbers). */
+struct PipelineSurvey
+{
+    double cpi = 0.0;
+    double schedOccupancy = 0.0;
+    double intRfFree = 0.0;
+    double fpRfFree = 0.0;
+    double intRfPortFree = 0.0;
+    double fpRfPortFree = 0.0;
+    double schedPortFree = 0.0;
+    double adderUtil[4] = {0, 0, 0, 0};
+    double mruHitFraction[3] = {0, 0, 0}; ///< MRU, MRU+1, rest
+};
+
+PipelineSurvey
+runPipelineSurvey(const WorkloadSet &workload,
+                  const ExperimentOptions &options,
+                  AdderAllocationPolicy policy =
+                      AdderAllocationPolicy::Uniform);
+
+} // namespace penelope
+
+#endif // PENELOPE_CORE_EXPERIMENTS_HH

@@ -1,0 +1,86 @@
+#include "efficiency.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace penelope {
+
+double
+nbtiEfficiency(double delay_factor, double guardband,
+               double tdp_factor)
+{
+    assert(delay_factor > 0.0);
+    assert(guardband >= 0.0);
+    assert(tdp_factor > 0.0);
+    const double effective_delay = delay_factor * (1.0 + guardband);
+    return std::pow(effective_delay, 3.0) * tdp_factor;
+}
+
+double
+nbtiEfficiency(const BlockCost &block)
+{
+    return nbtiEfficiency(block.cycleTimeFactor, block.guardband,
+                          block.tdpFactor);
+}
+
+ProcessorCost::ProcessorCost(double combined_cpi)
+    : cpi_(combined_cpi)
+{
+    assert(cpi_ > 0.0);
+}
+
+void
+ProcessorCost::addBlock(BlockCost block)
+{
+    assert(block.cycleTimeFactor > 0.0);
+    assert(block.tdpFactor > 0.0);
+    assert(block.tdpWeight > 0.0);
+    blocks_.push_back(std::move(block));
+}
+
+double
+ProcessorCost::maxCycleTime() const
+{
+    double worst = 1.0;
+    for (const auto &b : blocks_)
+        worst = std::max(worst, b.cycleTimeFactor);
+    return worst;
+}
+
+double
+ProcessorCost::delay() const
+{
+    return cpi_ * maxCycleTime();
+}
+
+double
+ProcessorCost::tdp() const
+{
+    if (blocks_.empty())
+        return 1.0;
+    double weight_sum = 0.0;
+    double tdp_sum = 0.0;
+    for (const auto &b : blocks_) {
+        weight_sum += b.tdpWeight;
+        tdp_sum += b.tdpWeight * b.tdpFactor;
+    }
+    return tdp_sum / weight_sum;
+}
+
+double
+ProcessorCost::guardband() const
+{
+    double worst = 0.0;
+    for (const auto &b : blocks_)
+        worst = std::max(worst, b.guardband);
+    return worst;
+}
+
+double
+ProcessorCost::efficiency() const
+{
+    return nbtiEfficiency(delay(), guardband(), tdp());
+}
+
+} // namespace penelope

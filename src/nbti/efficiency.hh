@@ -1,0 +1,98 @@
+/**
+ * @file
+ * NBTIefficiency metric (Section 4.2, equations 1-4).
+ *
+ * The paper combines delay, guardband and TDP into a single figure
+ * of merit.  Its worked examples (baseline 1.73, periodic inversion
+ * 1.41, adder 1.24, register file 1.12, scheduler 1.24, DL0 1.09,
+ * whole Penelope processor 1.28) uniquely determine the form
+ *
+ *     NBTIefficiency = (Delay * (1 + NBTIguardband))^3 * TDP
+ *
+ * i.e.\ the guardband extends the effective delay, delay is cubed
+ * like in PD^3 / ED^2, and TDP multiplies linearly.
+ *
+ * Processor-level composition (eqs. 2-4): delay is combined CPI times
+ * the maximum per-block cycle time; TDP is the (weighted) sum of
+ * per-block TDP; the guardband is the maximum over blocks.
+ */
+
+#ifndef PENELOPE_NBTI_EFFICIENCY_HH
+#define PENELOPE_NBTI_EFFICIENCY_HH
+
+#include <string>
+#include <vector>
+
+namespace penelope {
+
+/**
+ * Per-block cost/benefit parameters, all relative to the unprotected
+ * baseline design of the same block.
+ */
+struct BlockCost
+{
+    std::string name;
+
+    /** Cycle-time factor of the block (1.10 = 10% slower clock). */
+    double cycleTimeFactor = 1.0;
+
+    /** Residual NBTI guardband fraction after mitigation. */
+    double guardband = 0.0;
+
+    /** TDP factor of the block (1.01 = +1%). */
+    double tdpFactor = 1.0;
+
+    /** Relative weight of this block in the processor TDP budget. */
+    double tdpWeight = 1.0;
+};
+
+/** Equation (1): (delay * (1 + guardband))^3 * TDP. */
+double nbtiEfficiency(double delay_factor, double guardband,
+                      double tdp_factor);
+
+/** Efficiency for a single block (unit CPI). */
+double nbtiEfficiency(const BlockCost &block);
+
+/**
+ * Processor-level metric aggregation (equations 2-4).
+ *
+ * CPI must come from a simulation of all mechanisms together; it
+ * cannot be composed from per-block CPIs (Section 4.2).
+ */
+class ProcessorCost
+{
+  public:
+    /** @param combined_cpi normalised CPI of the full processor. */
+    explicit ProcessorCost(double combined_cpi = 1.0);
+
+    void addBlock(BlockCost block);
+
+    /** Equation (2): CPI * max cycle-time factor. */
+    double delay() const;
+
+    /** Maximum per-block cycle-time factor. */
+    double maxCycleTime() const;
+
+    /** Equation (3): weighted sum of per-block TDP factors
+     *  (weights normalised to sum to 1). */
+    double tdp() const;
+
+    /** Equation (4): maximum per-block guardband. */
+    double guardband() const;
+
+    /** Equation (1) applied to the processor aggregates. */
+    double efficiency() const;
+
+    double combinedCpi() const { return cpi_; }
+    void combinedCpi(double cpi) { cpi_ = cpi; }
+
+    const std::vector<BlockCost> &blocks() const { return blocks_; }
+
+  private:
+    double cpi_;
+    std::vector<BlockCost> blocks_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_NBTI_EFFICIENCY_HH

@@ -1,0 +1,59 @@
+#include "long_term.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace penelope {
+
+LongTermModel::LongTermModel(const LongTermParams &params)
+    : params_(params)
+{
+    assert(params_.prefactor > 0.0);
+    assert(params_.diffusionExponent > 0.0);
+    assert(params_.designLifetime > 0.0);
+}
+
+double
+LongTermModel::vthShift(double alpha, double seconds) const
+{
+    assert(alpha >= 0.0 && alpha <= 1.0);
+    assert(seconds >= 0.0);
+    if (alpha == 0.0 || seconds == 0.0)
+        return 0.0;
+    const double duty = std::pow(alpha, params_.dutyExponent);
+    const double aging = std::pow(seconds / params_.designLifetime,
+                                  params_.diffusionExponent);
+    return params_.prefactor * duty * aging;
+}
+
+double
+LongTermModel::endOfLifeShift(double alpha) const
+{
+    return vthShift(alpha, params_.designLifetime);
+}
+
+double
+LongTermModel::lifetime(double alpha, double limit) const
+{
+    assert(limit > 0.0);
+    if (alpha <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    const double duty = std::pow(alpha, params_.dutyExponent);
+    const double ratio = limit / (params_.prefactor * duty);
+    return params_.designLifetime *
+        std::pow(ratio, 1.0 / params_.diffusionExponent);
+}
+
+double
+LongTermModel::lifetimeGain(double alpha_from, double alpha_to) const
+{
+    const double limit = 0.1; // any fixed limit cancels in the ratio
+    const double from = lifetime(alpha_from, limit);
+    const double to = lifetime(alpha_to, limit);
+    if (std::isinf(to))
+        return std::numeric_limits<double>::infinity();
+    return to / from;
+}
+
+} // namespace penelope

@@ -1,0 +1,130 @@
+#include "rd_model.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace penelope {
+
+namespace {
+/** Boltzmann constant in eV/K. */
+constexpr double kBoltzmannEv = 8.617333262e-5;
+/** Nominal 65nm PMOS threshold magnitude, volts. */
+constexpr double nominalVth = 0.45;
+} // namespace
+
+RdModel::RdModel(const RdModelParams &params)
+    : params_(params), nit_(0.0), elapsed_(0.0), stressTime_(0.0)
+{
+    assert(params_.maxNit > 0.0);
+    assert(params_.kForward > 0.0);
+    assert(params_.kReverse > 0.0);
+}
+
+double
+RdModel::effectiveForwardRate() const
+{
+    const double arrhenius = std::exp(
+        -params_.activationEnergy / kBoltzmannEv *
+        (1.0 / params_.temperature -
+         1.0 / params_.referenceTemperature));
+    const double voltage = std::exp(
+        params_.voltageAcceleration *
+        (params_.stressVoltage - params_.referenceVoltage));
+    return params_.kForward * arrhenius * voltage;
+}
+
+double
+RdModel::effectiveReverseRate() const
+{
+    // Annealing is also thermally activated but insensitive to the
+    // stress voltage (the field is removed during relaxation).
+    const double arrhenius = std::exp(
+        -params_.activationEnergy / kBoltzmannEv *
+        (1.0 / params_.temperature -
+         1.0 / params_.referenceTemperature));
+    return params_.kReverse * arrhenius;
+}
+
+void
+RdModel::stress(double seconds)
+{
+    assert(seconds >= 0.0);
+    if (seconds == 0.0)
+        return;
+    const double kf = effectiveForwardRate();
+    // dN/dt = kf (Nmax - N)  =>  N(t) = Nmax - (Nmax - N0) e^{-kf t}
+    nit_ = params_.maxNit -
+        (params_.maxNit - nit_) * std::exp(-kf * seconds);
+    elapsed_ += seconds;
+    stressTime_ += seconds;
+}
+
+void
+RdModel::relax(double seconds)
+{
+    assert(seconds >= 0.0);
+    if (seconds == 0.0)
+        return;
+    const double kr = effectiveReverseRate();
+    // dN/dt = -kr N  =>  N(t) = N0 e^{-kr t}; recovery is asymptotic,
+    // full recovery only after infinite relaxation (paper, 2.2).
+    nit_ *= std::exp(-kr * seconds);
+    elapsed_ += seconds;
+}
+
+void
+RdModel::observe(bool gate_level, double seconds)
+{
+    if (gate_level)
+        relax(seconds);
+    else
+        stress(seconds);
+}
+
+double
+RdModel::fractionDegraded() const
+{
+    return nit_ / params_.maxNit;
+}
+
+double
+RdModel::vthShift() const
+{
+    return params_.vthShiftAtMaxNit * fractionDegraded();
+}
+
+double
+RdModel::relativeVthShift() const
+{
+    return vthShift() / nominalVth;
+}
+
+double
+RdModel::stressFraction() const
+{
+    if (elapsed_ <= 0.0)
+        return 0.0;
+    return stressTime_ / elapsed_;
+}
+
+double
+RdModel::equilibriumFraction(double alpha, const RdModelParams &params)
+{
+    assert(alpha >= 0.0 && alpha <= 1.0);
+    const double kf = params.kForward;
+    const double kr = params.kReverse;
+    const double denom = alpha * kf + (1.0 - alpha) * kr;
+    if (denom <= 0.0)
+        return 0.0;
+    return alpha * kf / denom;
+}
+
+void
+RdModel::reset()
+{
+    nit_ = 0.0;
+    elapsed_ = 0.0;
+    stressTime_ = 0.0;
+}
+
+} // namespace penelope

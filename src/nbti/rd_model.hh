@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reaction-diffusion style NBTI aging model.
+ *
+ * Implements the degradation/self-healing dynamics the paper
+ * describes in Section 2 (after Alam, IEDM 2003): during stress (gate
+ * at logic "0") interface traps (NIT) are created at a rate
+ * proportional to the number of remaining Si-H bonds; during relax
+ * (gate at "1") traps are annealed at a rate proportional to the
+ * current NIT.  This yields the alternating saw-tooth of the paper's
+ * Figure 1, exponential saturation under DC stress, asymptotic (never
+ * complete) recovery, and a long-run equilibrium that is linear in
+ * the zero-signal probability when the forward and reverse rates
+ * match -- the property the paper's calibrated guardband numbers
+ * reflect.
+ */
+
+#ifndef PENELOPE_NBTI_RD_MODEL_HH
+#define PENELOPE_NBTI_RD_MODEL_HH
+
+#include <cstdint>
+
+namespace penelope {
+
+/** Physical parameters of the RD aging model. */
+struct RdModelParams
+{
+    /** Maximum interface-trap density (normalised units). */
+    double maxNit = 1.0;
+
+    /** Forward (trap generation) rate constant, 1/s at nominal
+     *  temperature and voltage. */
+    double kForward = 1.0e-8;
+
+    /** Reverse (self-healing) rate constant, 1/s. */
+    double kReverse = 1.0e-8;
+
+    /** Full VTH shift when NIT saturates, in volts.
+     *  0.3 * 0.45V nominal VTH is a deliberately pessimistic 65nm
+     *  end-of-life bound. */
+    double vthShiftAtMaxNit = 0.135;
+
+    /** Operating temperature in kelvin. */
+    double temperature = 358.0; // 85C
+
+    /** Reference temperature the rate constants are quoted at. */
+    double referenceTemperature = 358.0;
+
+    /** Arrhenius activation energy, eV (trap generation). */
+    double activationEnergy = 0.12;
+
+    /** Gate overdrive voltage (|Vgs|) during stress, volts. */
+    double stressVoltage = 1.1;
+
+    /** Reference stress voltage. */
+    double referenceVoltage = 1.1;
+
+    /** Exponential voltage acceleration factor (1/V). */
+    double voltageAcceleration = 3.0;
+};
+
+/**
+ * Continuous-time RD aging state for one PMOS transistor.
+ *
+ * The state advances analytically (closed-form exponentials), so any
+ * step size is exact: no Euler integration error.
+ */
+class RdModel
+{
+  public:
+    explicit RdModel(const RdModelParams &params = RdModelParams());
+
+    /** Apply @p seconds of stress (gate at "0"). */
+    void stress(double seconds);
+
+    /** Apply @p seconds of relaxation (gate at "1"). */
+    void relax(double seconds);
+
+    /** Convenience: advance by @p seconds at the given gate level. */
+    void observe(bool gate_level, double seconds);
+
+    /** Current interface trap density (normalised). */
+    double nit() const { return nit_; }
+
+    /** Fraction of the maximum trap density currently present. */
+    double fractionDegraded() const;
+
+    /** Current threshold-voltage shift in volts. */
+    double vthShift() const;
+
+    /** Relative VTH shift w.r.t.\ a 0.45V nominal threshold. */
+    double relativeVthShift() const;
+
+    /** Total simulated seconds so far. */
+    double elapsedSeconds() const { return elapsed_; }
+
+    /** Fraction of simulated time spent under stress. */
+    double stressFraction() const;
+
+    const RdModelParams &params() const { return params_; }
+
+    /**
+     * Long-run equilibrium degradation fraction for a signal with
+     * zero-signal probability @p alpha, given forward/reverse rates.
+     * With kForward == kReverse this is exactly @p alpha.
+     */
+    static double equilibriumFraction(double alpha,
+                                      const RdModelParams &params =
+                                          RdModelParams());
+
+    /** Effective (temperature/voltage accelerated) forward rate. */
+    double effectiveForwardRate() const;
+
+    /** Effective reverse rate (temperature accelerated). */
+    double effectiveReverseRate() const;
+
+    /** Reset to the pristine (zero-trap) state. */
+    void reset();
+
+  private:
+    RdModelParams params_;
+    double nit_;
+    double elapsed_;
+    double stressTime_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_NBTI_RD_MODEL_HH

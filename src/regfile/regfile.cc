@@ -1,0 +1,154 @@
+#include "regfile.hh"
+
+#include <cassert>
+
+namespace penelope {
+
+RegisterFile::RegisterFile(const RegFileConfig &config)
+    : config_(config),
+      entries_(config.numEntries),
+      rinv_(config.width),
+      bias_(config.width)
+{
+    assert(config_.numEntries >= 1);
+    assert(config_.sampledEntry < config_.numEntries);
+    for (auto &e : entries_)
+        e.value = BitWord(config_.width);
+    for (unsigned i = 0; i < config_.numEntries; ++i)
+        freeList_.push_back(i);
+    // RINV starts as the inversion of the all-zero value.
+    rinv_ = BitWord(config_.width).inverted();
+}
+
+void
+RegisterFile::flushEntry(Entry &e, Cycle now)
+{
+    if (now > e.valueSince) {
+        bias_.observe(e.value, now - e.valueSince);
+        e.valueSince = now;
+    }
+}
+
+void
+RegisterFile::meterFlush(Cycle now)
+{
+    const Entry &s = entries_[config_.sampledEntry];
+    if (now > sampledSince_) {
+        const std::uint64_t dt = now - sampledSince_;
+        if (s.holdsInverted)
+            sampledInvertedTime_ += dt;
+        else
+            sampledNonInvertedTime_ += dt;
+        sampledSince_ = now;
+    }
+}
+
+void
+RegisterFile::occupancyFlush(Cycle now)
+{
+    if (now > lastOccupancyFlush_) {
+        busyIntegral_ += static_cast<double>(busyCount_) *
+            static_cast<double>(now - lastOccupancyFlush_);
+        lastOccupancyFlush_ = now;
+    }
+}
+
+int
+RegisterFile::allocate(Cycle now)
+{
+    if (freeList_.empty())
+        return -1;
+    const unsigned idx = freeList_.front();
+    freeList_.pop_front();
+    occupancyFlush(now);
+    Entry &e = entries_[idx];
+    assert(!e.busy);
+    e.busy = true;
+    ++busyCount_;
+    return static_cast<int>(idx);
+}
+
+void
+RegisterFile::write(unsigned entry, const BitWord &value, Cycle now)
+{
+    assert(entry < entries_.size());
+    assert(value.width() == config_.width);
+    Entry &e = entries_[entry];
+    if (entry == config_.sampledEntry)
+        meterFlush(now);
+    flushEntry(e, now);
+    e.value = value;
+    e.holdsInverted = false;
+    // RINV periodically samples (and inverts) a written value.
+    if ((writeCount_++ % config_.rinvSampleInterval) == 0)
+        rinv_ = value.inverted();
+}
+
+void
+RegisterFile::write(unsigned entry, Word value, Cycle now)
+{
+    write(entry, BitWord(config_.width, value), now);
+}
+
+void
+RegisterFile::release(unsigned entry, Cycle now, bool port_available)
+{
+    assert(entry < entries_.size());
+    Entry &e = entries_[entry];
+    assert(e.busy);
+    occupancyFlush(now);
+    e.busy = false;
+    --busyCount_;
+    freeList_.push_back(entry);
+
+    if (!isvEnabled_)
+        return;
+
+    // Balance decision from the sampled entry's timestamps: update
+    // with inverted contents when non-inverted residence leads.
+    meterFlush(now);
+    if (sampledNonInvertedTime_ < sampledInvertedTime_) {
+        ++isvStats_.updatesSkipped;
+        return;
+    }
+    if (!port_available) {
+        ++isvStats_.updatesDiscarded;
+        return;
+    }
+    if (entry == config_.sampledEntry)
+        meterFlush(now);
+    flushEntry(e, now);
+    e.value = rinv_;
+    e.holdsInverted = true;
+    ++isvStats_.updatesApplied;
+}
+
+bool
+RegisterFile::isBusy(unsigned entry) const
+{
+    return entries_.at(entry).busy;
+}
+
+double
+RegisterFile::occupancy(Cycle now) const
+{
+    if (now == 0)
+        return 0.0;
+    const double pending = static_cast<double>(busyCount_) *
+        static_cast<double>(now - lastOccupancyFlush_);
+    return (busyIntegral_ + pending) /
+        (static_cast<double>(config_.numEntries) *
+         static_cast<double>(now));
+}
+
+const BitBiasTracker &
+RegisterFile::finalizeBias(Cycle now)
+{
+    for (auto &e : entries_)
+        flushEntry(e, now);
+    meterFlush(now);
+    occupancyFlush(now);
+    return bias_;
+}
+
+} // namespace penelope

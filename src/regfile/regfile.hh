@@ -1,0 +1,150 @@
+/**
+ * @file
+ * NBTI-aware physical register file (Section 4.4).
+ *
+ * An explicitly managed block whose entries are free most of the
+ * time.  The ISV mechanism writes the RINV register (an inverted
+ * sampled value) into entries as they are released, through write
+ * ports left idle by the pipeline, so every bit cell spends about
+ * half its lifetime holding each polarity.  A single sampled entry's
+ * inverted/non-inverted residence times (tracked with timestamps)
+ * gate the updates at 50% of overall time, per the paper's ISV
+ * description.
+ */
+
+#ifndef PENELOPE_REGFILE_REGFILE_HH
+#define PENELOPE_REGFILE_REGFILE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/bitword.hh"
+#include "common/duty.hh"
+#include "common/types.hh"
+
+namespace penelope {
+
+/** Static register-file parameters. */
+struct RegFileConfig
+{
+    std::string name = "INT-RF";
+    unsigned numEntries = 128;
+    unsigned width = 32;
+
+    /** Entry used for the ISV balance sampling (fixed entry for
+     *  simplicity, as in the paper). */
+    unsigned sampledEntry = 0;
+
+    /** RINV resampling interval in writes (the paper suggests
+     *  refreshing RINV periodically from a write port). */
+    unsigned rinvSampleInterval = 64;
+};
+
+/** ISV mechanism statistics. */
+struct IsvStats
+{
+    std::uint64_t updatesApplied = 0;   ///< RINV writes at release
+    std::uint64_t updatesDiscarded = 0; ///< no free port available
+    std::uint64_t updatesSkipped = 0;   ///< balance meter said skip
+};
+
+/**
+ * Physical register file with free-list allocation, per-bit duty
+ * tracking and the optional ISV protection mechanism.
+ */
+class RegisterFile
+{
+  public:
+    explicit RegisterFile(const RegFileConfig &config);
+
+    /** Enable/disable the ISV invert-at-release mechanism. */
+    void enableIsv(bool enabled) { isvEnabled_ = enabled; }
+    bool isvEnabled() const { return isvEnabled_; }
+
+    /** Allocate a free entry; returns -1 when full. */
+    int allocate(Cycle now);
+
+    /** Write a program value into a (busy) entry. */
+    void write(unsigned entry, const BitWord &value, Cycle now);
+
+    /** Convenience for plain 64-bit values. */
+    void write(unsigned entry, Word value, Cycle now);
+
+    /**
+     * Release an entry back to the free list.  When ISV is enabled
+     * and @p port_available, the entry may be refreshed with RINV
+     * according to the balance meter; updates without a port are
+     * discarded (their NBTI impact is negligible, Section 4.4).
+     */
+    void release(unsigned entry, Cycle now, bool port_available);
+
+    unsigned numEntries() const { return config_.numEntries; }
+    unsigned width() const { return config_.width; }
+    unsigned busyCount() const { return busyCount_; }
+    bool isBusy(unsigned entry) const;
+
+    /** Time-weighted fraction of entry-time spent busy. */
+    double occupancy(Cycle now) const;
+
+    /** Fraction of entry-time spent free (paper: 54% INT, 69% FP). */
+    double freeFraction(Cycle now) const { return 1.0 - occupancy(now); }
+
+    const IsvStats &isvStats() const { return isvStats_; }
+
+    /** Current RINV register contents. */
+    const BitWord &rinv() const { return rinv_; }
+
+    /** Flush residence accounting to @p now and return the per-bit
+     *  bias tracker. */
+    const BitBiasTracker &finalizeBias(Cycle now);
+
+    const RegFileConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        BitWord value;
+        bool busy = false;
+        bool holdsInverted = false;
+        Cycle valueSince = 0;
+    };
+
+    /** Account @p entry's current value up to @p now. */
+    void flushEntry(Entry &e, Cycle now);
+
+    /** Update the sampled-entry balance meter on a state change. */
+    void meterFlush(Cycle now);
+
+    /** Account busy-time integral before a busy-count change. */
+    void occupancyFlush(Cycle now);
+
+    RegFileConfig config_;
+    std::vector<Entry> entries_;
+
+    /** FIFO free list: physical registers rotate through all
+     *  entries evenly (this is what makes register tags
+     *  self-balanced in the scheduler, Section 4.5). */
+    std::deque<unsigned> freeList_;
+    unsigned busyCount_ = 0;
+    bool isvEnabled_ = false;
+
+    BitWord rinv_;
+    std::uint64_t writeCount_ = 0;
+
+    /** Timestamp-based balance meter for the sampled entry. */
+    std::uint64_t sampledInvertedTime_ = 0;
+    std::uint64_t sampledNonInvertedTime_ = 0;
+    Cycle sampledSince_ = 0;
+
+    double busyIntegral_ = 0.0;
+    Cycle lastOccupancyFlush_ = 0;
+
+    IsvStats isvStats_;
+    BitBiasTracker bias_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_REGFILE_REGFILE_HH

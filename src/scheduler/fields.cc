@@ -1,0 +1,141 @@
+#include "fields.hh"
+
+#include <cassert>
+
+namespace penelope {
+
+FieldLayout::FieldLayout()
+{
+    struct Raw
+    {
+        FieldId id;
+        const char *name;
+        unsigned width;
+        bool inFigure8;
+    };
+    const Raw raw[] = {
+        {FieldId::Valid, "valid", 1, true},
+        {FieldId::Latency, "latency", 5, true},
+        {FieldId::Port, "port", 5, true},
+        {FieldId::Taken, "taken", 1, true},
+        {FieldId::MobId, "MOBid", 6, true},
+        {FieldId::Tos, "tos", 3, true},
+        {FieldId::Flags, "flags", 6, true},
+        {FieldId::Shift1, "shift1", 1, true},
+        {FieldId::Shift2, "shift2", 1, true},
+        {FieldId::DstTag, "DSTtag", 7, true},
+        {FieldId::Src1Tag, "SRC1tag", 7, true},
+        {FieldId::Src2Tag, "SRC2tag", 7, true},
+        {FieldId::Ready1, "ready1", 1, true},
+        {FieldId::Ready2, "ready2", 1, true},
+        {FieldId::Src1Data, "SRC1data", 32, true},
+        {FieldId::Src2Data, "SRC2data", 32, true},
+        {FieldId::Imm, "immediate", 16, true},
+        {FieldId::Opcode, "opcode", 12, false},
+    };
+    unsigned offset = 0;
+    unsigned fig8 = 0;
+    for (const Raw &r : raw) {
+        specs_.push_back({r.id, r.name, r.width, offset,
+                          r.inFigure8});
+        offset += r.width;
+        if (r.inFigure8)
+            fig8 += r.width;
+    }
+    totalBits_ = offset;
+    figure8Bits_ = fig8;
+    assert(specs_.size() == numFields);
+    assert(totalBits_ == 144);
+    assert(figure8Bits_ == 132);
+}
+
+const FieldSpec &
+FieldLayout::spec(FieldId id) const
+{
+    const auto &s = specs_.at(static_cast<unsigned>(id));
+    assert(s.id == id);
+    return s;
+}
+
+const FieldSpec &
+FieldLayout::spec(unsigned index) const
+{
+    return specs_.at(index);
+}
+
+const FieldLayout &
+fieldLayout()
+{
+    static const FieldLayout layout;
+    return layout;
+}
+
+bool
+fieldUsedByUop(FieldId field, const Uop &uop,
+               const RenameTags &tags)
+{
+    // Almost every field holds live data whenever the slot is busy
+    // (a 0 in 'taken' for a non-branch is a live 0: the bit cell
+    // stores it).  Only the captured source data and the immediate
+    // "remain unused beyond the allocation or are not used at all
+    // for some instructions" (Section 4.5) and may hold repair
+    // values while the slot is busy: an operand already ready at
+    // allocation never occupies its capture field.
+    switch (field) {
+      case FieldId::Src1Data:
+        return uop.usesSrc1() && !tags.ready1;
+      case FieldId::Src2Data:
+        return uop.usesSrc2() && !tags.ready2;
+      case FieldId::Imm:
+        return uop.hasImm;
+      default:
+        return true;
+    }
+}
+
+BitWord
+fieldValue(FieldId field, const Uop &uop, const RenameTags &tags)
+{
+    const unsigned width = fieldLayout().spec(field).width;
+    switch (field) {
+      case FieldId::Valid:
+        return BitWord(width, 1);
+      case FieldId::Latency:
+        return BitWord(width, uop.latency);
+      case FieldId::Port:
+        return BitWord(width, std::uint64_t(1) << uop.port);
+      case FieldId::Taken:
+        return BitWord(width, uop.taken ? 1 : 0);
+      case FieldId::MobId:
+        return BitWord(width, uop.mobId);
+      case FieldId::Tos:
+        return BitWord(width, uop.tos);
+      case FieldId::Flags:
+        return BitWord(width, uop.flags);
+      case FieldId::Shift1:
+        return BitWord(width, uop.shift1 ? 1 : 0);
+      case FieldId::Shift2:
+        return BitWord(width, uop.shift2 ? 1 : 0);
+      case FieldId::DstTag:
+        return BitWord(width, tags.dstTag);
+      case FieldId::Src1Tag:
+        return BitWord(width, tags.src1Tag);
+      case FieldId::Src2Tag:
+        return BitWord(width, tags.src2Tag);
+      case FieldId::Ready1:
+        return BitWord(width, tags.ready1 ? 1 : 0);
+      case FieldId::Ready2:
+        return BitWord(width, tags.ready2 ? 1 : 0);
+      case FieldId::Src1Data:
+        return BitWord(width, uop.srcVal1 & 0xffffffffULL);
+      case FieldId::Src2Data:
+        return BitWord(width, uop.srcVal2 & 0xffffffffULL);
+      case FieldId::Imm:
+        return BitWord(width, uop.imm);
+      case FieldId::Opcode:
+        return BitWord(width, uop.opcode);
+    }
+    return BitWord(width);
+}
+
+} // namespace penelope

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scheduler protection profiling (Section 4.5 methodology).
+ *
+ * The paper selects techniques and K values by profiling 100 random
+ * traces of the 531, then evaluates on the remaining 431.  This
+ * module runs the profiling pass (protection disabled), derives
+ * per-bit decisions via the Figure-3 casuistic, and flags
+ * self-balanced bits (register tags, MOB ids) that need no repair.
+ */
+
+#ifndef PENELOPE_SCHEDULER_PROFILE_HH
+#define PENELOPE_SCHEDULER_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "driver.hh"
+#include "scheduler.hh"
+#include "trace/workload.hh"
+
+namespace penelope {
+
+/** Outcome of the profiling pass. */
+struct SchedulerProfile
+{
+    std::vector<BitProfile> bits; ///< layout order
+    double slotOccupancy = 0.0;
+};
+
+/**
+ * Run @p trace_indices through an unprotected scheduler and collect
+ * per-bit occupancy/bias profiles.
+ */
+SchedulerProfile
+profileScheduler(const WorkloadSet &workload,
+                 const std::vector<unsigned> &trace_indices,
+                 std::size_t uops_per_trace,
+                 const SchedulerConfig &sched_config =
+                     SchedulerConfig(),
+                 const SchedReplayConfig &replay_config =
+                     SchedReplayConfig());
+
+/**
+ * Derive per-bit protection decisions from a profile.
+ *
+ * @param self_balanced_tol bits whose in-use bias is within this
+ *        distance of 0.5 are left unrepaired (the paper's
+ *        "self-balanced" register tags and MOB ids).
+ */
+std::vector<BitDecision>
+decideProtection(const std::vector<BitProfile> &bits,
+                 double self_balanced_tol = 0.05);
+
+/** Human-readable per-field summary of a decision vector. */
+struct FieldTechniqueSummary
+{
+    FieldId field;
+    const char *fieldName;
+    Technique dominantTechnique;
+    double minK;
+    double maxK;
+};
+
+std::vector<FieldTechniqueSummary>
+summarizeDecisions(const std::vector<BitDecision> &decisions);
+
+} // namespace penelope
+
+#endif // PENELOPE_SCHEDULER_PROFILE_HH

@@ -1,0 +1,329 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace penelope {
+
+Scheduler::Scheduler(const SchedulerConfig &config)
+    : config_(config)
+{
+    const FieldLayout &layout = fieldLayout();
+    entries_.resize(config_.numEntries);
+    for (auto &e : entries_) {
+        e.fields.resize(layout.count());
+        for (unsigned f = 0; f < layout.count(); ++f)
+            e.fields[f].value = BitWord(layout.spec(f).width);
+    }
+    for (unsigned i = 0; i < config_.numEntries; ++i)
+        freeList_.push_back(i);
+
+    decisions_.assign(layout.totalBits(), BitDecision{});
+    dutyGens_.assign(layout.totalBits(), DutyGenerator(1.0));
+    rinv_.reserve(layout.count());
+    for (unsigned f = 0; f < layout.count(); ++f)
+        rinv_.push_back(BitWord(layout.spec(f).width).inverted());
+
+    totalBias_.reserve(layout.count());
+    busyBias_.reserve(layout.count());
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        totalBias_.emplace_back(layout.spec(f).width);
+        busyBias_.emplace_back(layout.spec(f).width);
+    }
+    fieldUseTime_.assign(layout.count(), 0);
+    fieldInvertedTime_.assign(layout.count(), 0);
+    fieldNonInvertedTime_.assign(layout.count(), 0);
+    fieldHasIsv_.assign(layout.count(), false);
+}
+
+void
+Scheduler::configureProtection(std::vector<BitDecision> decisions)
+{
+    assert(decisions.size() == fieldLayout().totalBits());
+    decisions_ = std::move(decisions);
+    for (unsigned b = 0; b < decisions_.size(); ++b)
+        dutyGens_[b].setK(decisions_[b].k);
+    const FieldLayout &layout = fieldLayout();
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        const FieldSpec &spec = layout.spec(f);
+        bool has_isv = false;
+        for (unsigned b = 0; b < spec.width && !has_isv; ++b)
+            has_isv = decisions_[spec.offset + b].technique ==
+                Technique::Isv;
+        fieldHasIsv_[f] = has_isv;
+    }
+}
+
+void
+Scheduler::enableProtection(bool enabled)
+{
+    protectionEnabled_ = enabled;
+}
+
+void
+Scheduler::flushField(unsigned entry, unsigned field, Cycle now)
+{
+    FieldState &fs = entries_[entry].fields[field];
+    if (now > fs.since) {
+        const std::uint64_t dt = now - fs.since;
+        totalBias_[field].observe(fs.value, dt);
+        if (fs.inUse) {
+            busyBias_[field].observe(fs.value, dt);
+            fieldUseTime_[field] += dt;
+        }
+        if (fs.holdsInverted)
+            fieldInvertedTime_[field] += dt;
+        else
+            fieldNonInvertedTime_[field] += dt;
+        fs.since = now;
+    }
+}
+
+void
+Scheduler::flushAll(Cycle now)
+{
+    for (unsigned e = 0; e < entries_.size(); ++e)
+        for (unsigned f = 0; f < fieldLayout().count(); ++f)
+            flushField(e, f, now);
+    occupancyFlush(now);
+}
+
+void
+Scheduler::occupancyFlush(Cycle now)
+{
+    if (now > lastOccupancyFlush_) {
+        busyIntegral_ += static_cast<double>(busyCount_) *
+            static_cast<double>(now - lastOccupancyFlush_);
+        lastOccupancyFlush_ = now;
+    }
+}
+
+BitWord
+Scheduler::repairValue(unsigned field, const BitWord &current,
+                       bool write_isv)
+{
+    const FieldSpec &spec = fieldLayout().spec(field);
+    BitWord out(spec.width);
+    for (unsigned b = 0; b < spec.width; ++b) {
+        const unsigned global = spec.offset + b;
+        const BitDecision &d = decisions_[global];
+        bool v = current.bit(b);
+        switch (d.technique) {
+          case Technique::All1:
+            v = true;
+            break;
+          case Technique::All0:
+            v = false;
+            break;
+          case Technique::All1K:
+            v = dutyGens_[global].next();
+            break;
+          case Technique::All0K:
+            v = !dutyGens_[global].next();
+            break;
+          case Technique::Isv:
+            // The balance meter alternates polarity so entries hold
+            // inverted contents 50% of the overall time: write the
+            // inverted sample, or the plain (re-inverted) sample
+            // when inverted residence already leads.
+            v = write_isv ? rinv_[field].bit(b)
+                          : !rinv_[field].bit(b);
+            break;
+          case Technique::None:
+          case Technique::Unprotectable:
+            break; // keep stale contents
+        }
+        out.setBit(b, v);
+    }
+    return out;
+}
+
+void
+Scheduler::applyRepair(unsigned entry, unsigned field)
+{
+    FieldState &fs = entries_[entry].fields[field];
+    // ISV balance meter (timestamps, Section 3.2.2): write inverted
+    // contents while non-inverted residence leads, plain samples
+    // otherwise, so entries hold inverted values 50% of the
+    // overall time.
+    const bool write_isv = fieldHasIsv_[field] &&
+        fieldNonInvertedTime_[field] >= fieldInvertedTime_[field];
+    fs.value = repairValue(field, fs.value, write_isv);
+    if (fieldHasIsv_[field])
+        fs.holdsInverted = write_isv;
+}
+
+void
+Scheduler::sampleRinv(const Uop &uop, const RenameTags &tags)
+{
+    // ISV fields of RINV are refreshed with the inversion of values
+    // flowing through the allocate port (Section 4.5: sampled from
+    // register file reads/bypasses and instruction immediates).
+    // Only fields the sampled uop actually populates are refreshed:
+    // inverting a dont-care zero would bias RINV to all-ones.
+    const FieldLayout &layout = fieldLayout();
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        const FieldSpec &spec = layout.spec(f);
+        if (!fieldHasIsv_[f])
+            continue;
+        if (!fieldUsedByUop(spec.id, uop, tags))
+            continue;
+        rinv_[f] =
+            fieldValue(spec.id, uop, tags).inverted();
+    }
+}
+
+int
+Scheduler::allocate(const Uop &uop, const RenameTags &tags,
+                    Cycle now)
+{
+    if (freeList_.empty())
+        return -1;
+    const unsigned idx = freeList_.front();
+    freeList_.pop_front();
+    occupancyFlush(now);
+    Entry &e = entries_[idx];
+    assert(!e.busy);
+    e.busy = true;
+    ++busyCount_;
+
+    if (protectionEnabled_ &&
+        (allocCount_ % config_.isvSampleInterval) == 0) {
+        sampleRinv(uop, tags);
+    }
+    ++allocCount_;
+
+    const FieldLayout &layout = fieldLayout();
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        const FieldSpec &spec = layout.spec(f);
+        FieldState &fs = e.fields[f];
+        flushField(idx, f, now);
+        if (fieldUsedByUop(spec.id, uop, tags)) {
+            fs.value = fieldValue(spec.id, uop, tags);
+            fs.inUse = true;
+            fs.holdsInverted = false;
+        } else {
+            // Unused fields of a busy slot may hold repair values
+            // (they are written through the allocate port anyway).
+            if (protectionEnabled_)
+                applyRepair(idx, f);
+            fs.inUse = false;
+        }
+    }
+    return static_cast<int>(idx);
+}
+
+void
+Scheduler::release(unsigned entry, Cycle now, bool port_available)
+{
+    assert(entry < entries_.size());
+    Entry &e = entries_[entry];
+    assert(e.busy);
+    occupancyFlush(now);
+    e.busy = false;
+    --busyCount_;
+    freeList_.push_back(entry);
+
+    const FieldLayout &layout = fieldLayout();
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        const FieldSpec &spec = layout.spec(f);
+        FieldState &fs = e.fields[f];
+        flushField(entry, f, now);
+        fs.inUse = false;
+        if (spec.id == FieldId::Valid) {
+            // The valid bit drops to 0 on release; its contents are
+            // always live, so it cannot be repaired.
+            fs.value = BitWord(spec.width, 0);
+            fs.holdsInverted = false;
+            continue;
+        }
+        if (protectionEnabled_) {
+            // Without a free allocate port the update is delayed by
+            // a cycle or two, which is negligible against multi-
+            // cycle residences (Section 3.2); model it as applied.
+            if (!port_available)
+                ++repairsDelayed_;
+            applyRepair(entry, f);
+        }
+    }
+}
+
+double
+Scheduler::occupancy(Cycle now) const
+{
+    if (now == 0)
+        return 0.0;
+    const double pending = static_cast<double>(busyCount_) *
+        static_cast<double>(now - lastOccupancyFlush_);
+    return (busyIntegral_ + pending) /
+        (static_cast<double>(config_.numEntries) *
+         static_cast<double>(now));
+}
+
+double
+Scheduler::fieldOccupancy(FieldId f, Cycle now) const
+{
+    if (now == 0)
+        return 0.0;
+    const unsigned index = static_cast<unsigned>(f);
+    return static_cast<double>(fieldUseTime_[index]) /
+        (static_cast<double>(config_.numEntries) *
+         static_cast<double>(now));
+}
+
+std::vector<double>
+Scheduler::biasVector(Cycle now)
+{
+    flushAll(now);
+    std::vector<double> out;
+    out.reserve(fieldLayout().totalBits());
+    for (unsigned f = 0; f < fieldLayout().count(); ++f) {
+        const auto v = totalBias_[f].biasVector();
+        out.insert(out.end(), v.begin(), v.end());
+    }
+    return out;
+}
+
+std::vector<BitProfile>
+Scheduler::bitProfiles(Cycle now)
+{
+    flushAll(now);
+    const FieldLayout &layout = fieldLayout();
+    std::vector<BitProfile> out;
+    out.reserve(layout.totalBits());
+    const double denom = static_cast<double>(config_.numEntries) *
+        static_cast<double>(now);
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        const FieldSpec &spec = layout.spec(f);
+        const double occ = denom > 0.0
+            ? static_cast<double>(fieldUseTime_[f]) / denom : 0.0;
+        for (unsigned b = 0; b < spec.width; ++b) {
+            BitProfile p;
+            p.occupancy = occ;
+            p.bias0Busy = busyBias_[f].zeroProbability(b);
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+double
+Scheduler::worstFigure8Bias(Cycle now)
+{
+    const auto bias = biasVector(now);
+    const FieldLayout &layout = fieldLayout();
+    double worst = 0.5;
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        const FieldSpec &spec = layout.spec(f);
+        if (!spec.inFigure8)
+            continue;
+        for (unsigned b = 0; b < spec.width; ++b) {
+            const double p = bias[spec.offset + b];
+            worst = std::max(worst, std::max(p, 1.0 - p));
+        }
+    }
+    return worst;
+}
+
+} // namespace penelope

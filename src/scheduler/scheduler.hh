@@ -1,0 +1,162 @@
+/**
+ * @file
+ * NBTI-aware scheduler model (Section 4.5).
+ *
+ * An explicitly managed block with short idle time and many fields
+ * of distinct usage/bias patterns.  Protection writes per-field
+ * repair values from a RINV register into slots when they are
+ * released (and into fields left unused by the occupying uop at
+ * allocation), using the per-bit techniques chosen by the Figure-3
+ * casuistic.
+ */
+
+#ifndef PENELOPE_SCHEDULER_SCHEDULER_HH
+#define PENELOPE_SCHEDULER_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/duty.hh"
+#include "common/types.hh"
+#include "fields.hh"
+#include "techniques.hh"
+
+namespace penelope {
+
+/** Static scheduler parameters. */
+struct SchedulerConfig
+{
+    unsigned numEntries = 32;
+
+    /** Allocations between RINV refreshes of the ISV fields. */
+    unsigned isvSampleInterval = 64;
+};
+
+/** Per-bit profile measured with protection disabled. */
+struct BitProfile
+{
+    /** Fraction of entry-time the bit holds live data. */
+    double occupancy = 0.0;
+
+    /** P(bit == 0) while holding live data. */
+    double bias0Busy = 0.5;
+};
+
+/**
+ * The scheduler structure: slot lifecycle, per-bit stress
+ * accounting, and the RINV-based repair machinery.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(const SchedulerConfig &config);
+
+    /** Install per-bit protection decisions (layout order; size
+     *  must equal fieldLayout().totalBits()). */
+    void configureProtection(std::vector<BitDecision> decisions);
+
+    void enableProtection(bool enabled);
+    bool protectionEnabled() const { return protectionEnabled_; }
+
+    const std::vector<BitDecision> &decisions() const
+    {
+        return decisions_;
+    }
+
+    /** Allocate a slot for @p uop; returns -1 when full. */
+    int allocate(const Uop &uop, const RenameTags &tags, Cycle now);
+
+    /** Release a slot (issue); repair values are written through a
+     *  spare allocate port when @p port_available. */
+    void release(unsigned entry, Cycle now, bool port_available);
+
+    unsigned numEntries() const { return config_.numEntries; }
+    unsigned busyCount() const { return busyCount_; }
+    bool full() const { return busyCount_ == config_.numEntries; }
+
+    /** Time-weighted slot occupancy (paper: 63%). */
+    double occupancy(Cycle now) const;
+
+    /** Time-weighted fraction of entry-time field @p f holds live
+     *  data (paper: SRC data/imm available 70-75% of the time). */
+    double fieldOccupancy(FieldId f, Cycle now) const;
+
+    /** Flush accounting and return the concatenated per-bit bias
+     *  towards "0" in layout order (144 entries). */
+    std::vector<double> biasVector(Cycle now);
+
+    /** Per-bit profiles for the casuistic (layout order). */
+    std::vector<BitProfile> bitProfiles(Cycle now);
+
+    /** Worst |bias - 0.5| + 0.5 over the Figure-8 bits. */
+    double worstFigure8Bias(Cycle now);
+
+    const SchedulerConfig &config() const { return config_; }
+
+  private:
+    struct FieldState
+    {
+        BitWord value;
+        Cycle since = 0;
+        bool inUse = false;
+        bool holdsInverted = false; ///< last repair wrote RINV
+    };
+
+    struct Entry
+    {
+        bool busy = false;
+        std::vector<FieldState> fields;
+    };
+
+    void flushField(unsigned entry, unsigned field, Cycle now);
+    void flushAll(Cycle now);
+    void occupancyFlush(Cycle now);
+
+    /** Build the repair value for one field at this instant.
+     *  @p write_isv gates the ISV bits (the 50%-of-overall-time
+     *  balance meter, Section 3.2.2). */
+    BitWord repairValue(unsigned field, const BitWord &current,
+                        bool write_isv);
+
+    /** Apply a repair to an entry's field and update its
+     *  inverted-residence bookkeeping. */
+    void applyRepair(unsigned entry, unsigned field);
+
+    /** Refresh the ISV bits of RINV from @p uop's field values. */
+    void sampleRinv(const Uop &uop, const RenameTags &tags);
+
+    SchedulerConfig config_;
+    std::vector<Entry> entries_;
+
+    /** FIFO free list: slots rotate evenly, so every entry sees
+     *  repair writes (and tag/slot usage is self-balanced). */
+    std::deque<unsigned> freeList_;
+    unsigned busyCount_ = 0;
+
+    bool protectionEnabled_ = false;
+    std::vector<BitDecision> decisions_;
+    std::vector<DutyGenerator> dutyGens_; ///< per layout bit
+
+    /** RINV register, one BitWord per field. */
+    std::vector<BitWord> rinv_;
+    std::uint64_t allocCount_ = 0;
+    std::uint64_t repairsDelayed_ = 0;
+
+    /** Per-field ISV balance meters (inverted vs non-inverted
+     *  residence over all entries). */
+    std::vector<std::uint64_t> fieldInvertedTime_;
+    std::vector<std::uint64_t> fieldNonInvertedTime_;
+    std::vector<bool> fieldHasIsv_;
+
+    /** Accounting. */
+    std::vector<BitBiasTracker> totalBias_; ///< per field
+    std::vector<BitBiasTracker> busyBias_;  ///< per field, in-use only
+    std::vector<std::uint64_t> fieldUseTime_;
+    double busyIntegral_ = 0.0;
+    Cycle lastOccupancyFlush_ = 0;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_SCHEDULER_SCHEDULER_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic trace generator.
+ *
+ * Produces deterministic uop traces from a (suite, index) pair: the
+ * same TraceSpec always yields bit-identical uops.  The generator
+ * maintains architectural register images so captured source values
+ * have realistic temporal correlation (a register read returns the
+ * value most recently written to it), which matters for the register
+ * file and scheduler bias experiments.
+ */
+
+#ifndef PENELOPE_TRACE_GENERATOR_HH
+#define PENELOPE_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "suite.hh"
+#include "uop.hh"
+#include "value_gen.hh"
+
+namespace penelope {
+
+/** Identity of one trace in the workload set. */
+struct TraceSpec
+{
+    SuiteId suite = SuiteId::Encoder;
+    unsigned indexInSuite = 0;
+    std::uint64_t seed = 0;
+};
+
+/** Per-trace parameters resolved from the suite profile + seed. */
+struct TraceParams
+{
+    std::uint64_t wssBytes = 64 * 1024;
+    double zipfExponent = 0.8;
+    double sequentialFraction = 0.4;
+    double takenProb = 0.55;
+};
+
+/** A fully materialised trace. */
+struct Trace
+{
+    TraceSpec spec;
+    TraceParams params;
+    std::vector<Uop> uops;
+};
+
+/**
+ * Deterministic uop trace generator for one TraceSpec.
+ *
+ * Usage: construct, then call generate(n) once, or next() repeatedly
+ * for streaming consumption without materialising the whole trace.
+ */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const TraceSpec &spec);
+
+    /** Produce the next uop of the stream. */
+    Uop next();
+
+    /** Materialise @p num_uops into a Trace. */
+    Trace generate(std::size_t num_uops);
+
+    const TraceParams &params() const { return params_; }
+    const SuiteProfile &profile() const { return profile_; }
+
+  private:
+    UopClass pickClass();
+    std::uint8_t pickPort(UopClass cls) const;
+    std::uint8_t latencyFor(UopClass cls) const;
+    std::uint16_t opcodeFor(UopClass cls);
+    std::uint8_t pickSourceReg(bool fp);
+    std::uint8_t pickDestReg(bool fp);
+    std::uint8_t computeFlags(Word result) const;
+
+    TraceSpec spec_;
+    const SuiteProfile &profile_;
+    TraceParams params_;
+    Rng rng_;
+    IntValueGen intValues_;
+    FpValueGen fpValues_;
+    AddressGen addresses_;
+
+    /** Architectural register images (values last written). */
+    Word intRegs_[numArchIntRegs];
+    BitWord fpRegs_[numArchFpRegs];
+
+    /** Recently written registers, newest first (dependency pool). */
+    std::vector<std::uint8_t> recentInt_;
+    std::vector<std::uint8_t> recentFp_;
+
+    std::uint8_t mobCounter_;
+    std::uint8_t tos_;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_TRACE_GENERATOR_HH

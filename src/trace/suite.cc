@@ -1,0 +1,128 @@
+#include "suite.hh"
+
+#include <cassert>
+
+namespace penelope {
+
+namespace {
+
+std::vector<SuiteProfile>
+buildSuites()
+{
+    std::vector<SuiteProfile> suites;
+
+    // Mixture-weight shorthands.  IntValueProfile fields:
+    // {zero, smallPos, smallNeg, pointer, meanSmallMagnitude}.
+    // FpValueProfile fields: {zero, one, smallInt, unitRange, neg}.
+
+    suites.push_back({
+        SuiteId::Encoder, "Encoder", "Audio/video encoding", 62,
+        /*load*/ 0.26, /*store*/ 0.12, /*branch*/ 0.10,
+        /*fp*/ 0.10, /*mul*/ 0.12,
+        {0.22, 0.50, 0.06, 0.06, 128.0},
+        {0.10, 0.05, 0.30, 0.40, 0.10},
+        32 * 1024, 256 * 1024, 1.00, 0.75, 0.55, 6.0, 0.35,
+    });
+    suites.push_back({
+        SuiteId::SpecFp2000, "SpecFP2000", "Floating-point specs", 41,
+        0.30, 0.12, 0.06, 0.55, 0.20,
+        {0.20, 0.40, 0.05, 0.18, 256.0},
+        {0.10, 0.08, 0.15, 0.45, 0.12},
+        128 * 1024, 4 * 1024 * 1024, 0.90, 0.55, 0.50, 8.0, 0.20,
+    });
+    suites.push_back({
+        SuiteId::SpecInt2000, "SpecINT2000", "Integer specs", 33,
+        0.28, 0.12, 0.16, 0.02, 0.08,
+        {0.28, 0.42, 0.06, 0.12, 96.0},
+        {0.20, 0.10, 0.30, 0.25, 0.08},
+        32 * 1024, 1024 * 1024, 1.10, 0.35, 0.58, 5.0, 0.40,
+    });
+    suites.push_back({
+        SuiteId::Kernels, "Kernels", "VectorAdd, FIRs", 53,
+        0.34, 0.17, 0.06, 0.25, 0.18,
+        {0.18, 0.55, 0.04, 0.08, 200.0},
+        {0.08, 0.06, 0.20, 0.50, 0.15},
+        16 * 1024, 2 * 1024 * 1024, 0.60, 0.92, 0.80, 10.0, 0.25,
+    });
+    suites.push_back({
+        SuiteId::Multimedia, "Multimedia", "WMedia, photoshop", 85,
+        0.27, 0.13, 0.12, 0.15, 0.10,
+        {0.25, 0.48, 0.05, 0.08, 150.0},
+        {0.12, 0.06, 0.28, 0.38, 0.10},
+        16 * 1024, 512 * 1024, 1.05, 0.60, 0.55, 6.0, 0.35,
+    });
+    suites.push_back({
+        SuiteId::Office, "Office", "Excel, Word, Powerpoint", 75,
+        0.30, 0.14, 0.18, 0.02, 0.04,
+        {0.36, 0.38, 0.05, 0.14, 48.0},
+        {0.25, 0.12, 0.35, 0.18, 0.05},
+        4 * 1024, 64 * 1024, 1.25, 0.25, 0.60, 4.0, 0.45,
+    });
+    suites.push_back({
+        SuiteId::Productivity, "Productivity",
+        "Internet contents creation", 45,
+        0.29, 0.13, 0.16, 0.05, 0.06,
+        {0.32, 0.40, 0.05, 0.14, 64.0},
+        {0.22, 0.10, 0.32, 0.22, 0.06},
+        8 * 1024, 128 * 1024, 1.20, 0.30, 0.58, 4.5, 0.42,
+    });
+    suites.push_back({
+        SuiteId::Server, "Server", "TPC-C", 55,
+        0.32, 0.16, 0.14, 0.01, 0.04,
+        {0.30, 0.36, 0.05, 0.20, 80.0},
+        {0.25, 0.10, 0.35, 0.20, 0.05},
+        256 * 1024, 8 * 1024 * 1024, 0.85, 0.15, 0.55, 4.0, 0.38,
+    });
+    suites.push_back({
+        SuiteId::Workstation, "Workstation", "CAD, rendering", 49,
+        0.29, 0.12, 0.10, 0.35, 0.15,
+        {0.22, 0.42, 0.05, 0.16, 180.0},
+        {0.10, 0.08, 0.22, 0.42, 0.14},
+        64 * 1024, 2 * 1024 * 1024, 0.95, 0.50, 0.52, 7.0, 0.28,
+    });
+    suites.push_back({
+        SuiteId::Spec2006, "SPEC2006", "Specs", 33,
+        0.30, 0.13, 0.13, 0.25, 0.10,
+        {0.25, 0.42, 0.06, 0.14, 120.0},
+        {0.15, 0.08, 0.25, 0.35, 0.10},
+        128 * 1024, 8 * 1024 * 1024, 0.95, 0.40, 0.55, 6.0, 0.32,
+    });
+
+    return suites;
+}
+
+} // namespace
+
+const std::vector<SuiteProfile> &
+allSuites()
+{
+    static const std::vector<SuiteProfile> suites = buildSuites();
+    return suites;
+}
+
+const SuiteProfile &
+suiteProfile(SuiteId id)
+{
+    const auto &suites = allSuites();
+    const auto index = static_cast<std::size_t>(id);
+    assert(index < suites.size());
+    assert(suites[index].id == id);
+    return suites[index];
+}
+
+unsigned
+totalTraceCount()
+{
+    unsigned total = 0;
+    for (const auto &s : allSuites())
+        total += s.numTraces;
+    return total;
+}
+
+const std::string &
+suiteName(SuiteId id)
+{
+    return suiteProfile(id).name;
+}
+
+} // namespace penelope

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Workload suite profiles reproducing Table 1 of the paper.
+ *
+ * The paper evaluates 531 proprietary IA32 traces drawn from ten
+ * suites.  We substitute a deterministic synthetic workload: each
+ * suite gets a profile (instruction mix, value-population weights,
+ * working-set distribution, branch behaviour) and contributes the
+ * same number of traces as in Table 1.  Per-trace parameters are
+ * drawn deterministically from the trace's seed so the 531-trace
+ * working set is fully reproducible.
+ */
+
+#ifndef PENELOPE_TRACE_SUITE_HH
+#define PENELOPE_TRACE_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "value_gen.hh"
+
+namespace penelope {
+
+/** Identifier of a Table-1 benchmark suite. */
+enum class SuiteId : std::uint8_t
+{
+    Encoder,
+    SpecFp2000,
+    SpecInt2000,
+    Kernels,
+    Multimedia,
+    Office,
+    Productivity,
+    Server,
+    Workstation,
+    Spec2006,
+};
+
+inline constexpr unsigned numSuites = 10;
+
+/** Static description + tuning knobs of one suite. */
+struct SuiteProfile
+{
+    SuiteId id;
+    std::string name;
+    std::string description;   ///< Table 1 description column
+    unsigned numTraces;        ///< Table 1 '# traces' column
+
+    /** Instruction mix (fractions of all uops; remainder IntAlu). */
+    double loadFrac;
+    double storeFrac;
+    double branchFrac;
+    double fpFrac;       ///< share of compute uops that are FP
+    double mulFrac;      ///< share of compute uops that are multiplies
+
+    /** Value population knobs. */
+    IntValueProfile intValues;
+    FpValueProfile fpValues;
+
+    /** Working-set size drawn log-uniform in [min, max] per trace. */
+    std::uint64_t wssBytesMin;
+    std::uint64_t wssBytesMax;
+    double zipfExponent;
+    double sequentialFraction;
+
+    /** Branch taken probability. */
+    double takenProb;
+
+    /** Mean dependency distance (higher = more ILP). */
+    double ilpDistance;
+
+    /** Probability a compute uop carries an immediate. */
+    double immFrac;
+};
+
+/** All ten suite profiles in Table-1 order. */
+const std::vector<SuiteProfile> &allSuites();
+
+/** Profile for one suite. */
+const SuiteProfile &suiteProfile(SuiteId id);
+
+/** Total trace count (531 in the paper). */
+unsigned totalTraceCount();
+
+/** Human-readable suite name. */
+const std::string &suiteName(SuiteId id);
+
+} // namespace penelope
+
+#endif // PENELOPE_TRACE_SUITE_HH

@@ -1,0 +1,27 @@
+#include "uop.hh"
+
+namespace penelope {
+
+bool
+isMemory(UopClass cls)
+{
+    return cls == UopClass::Load || cls == UopClass::Store;
+}
+
+bool
+isFp(UopClass cls)
+{
+    return cls == UopClass::FpAdd || cls == UopClass::FpMul;
+}
+
+bool
+usesAdder(UopClass cls)
+{
+    // Integer ALU ops execute on an adder; loads and stores use one
+    // for address generation (the paper assumes an adder in each
+    // integer and address-generation port).
+    return cls == UopClass::IntAlu || cls == UopClass::Load ||
+        cls == UopClass::Store;
+}
+
+} // namespace penelope

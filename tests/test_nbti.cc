@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the NBTI physics library: RD dynamics, long-term model,
+ * guardband/Vmin calibration and the NBTIefficiency metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbti/efficiency.hh"
+#include "nbti/guardband.hh"
+#include "nbti/long_term.hh"
+#include "nbti/rd_model.hh"
+
+namespace penelope {
+namespace {
+
+// -------------------------------------------------------- RdModel
+
+TEST(RdModel, StartsPristine)
+{
+    RdModel m;
+    EXPECT_DOUBLE_EQ(m.nit(), 0.0);
+    EXPECT_DOUBLE_EQ(m.vthShift(), 0.0);
+    EXPECT_DOUBLE_EQ(m.elapsedSeconds(), 0.0);
+}
+
+TEST(RdModel, StressIncreasesNit)
+{
+    RdModel m;
+    m.stress(1e6);
+    EXPECT_GT(m.nit(), 0.0);
+    const double first = m.nit();
+    m.stress(1e6);
+    EXPECT_GT(m.nit(), first);
+}
+
+TEST(RdModel, DegradationRateDecreases)
+{
+    // Paper, Fig. 1: degradation speed decreases as traps build up.
+    RdModel m;
+    m.stress(1e7);
+    const double d1 = m.nit();
+    m.stress(1e7);
+    const double d2 = m.nit() - d1;
+    EXPECT_LT(d2, d1);
+}
+
+TEST(RdModel, RecoveryNeverCompletes)
+{
+    // Paper, 2.2: full recovery only after infinite relaxation.
+    RdModel m;
+    m.stress(1e7);
+    m.relax(1e9);
+    EXPECT_GT(m.nit(), 0.0);
+    EXPECT_LT(m.nit(), 1e-3);
+}
+
+TEST(RdModel, RecoveryFasterWithMoreTraps)
+{
+    RdModelParams p;
+    RdModel heavy(p);
+    heavy.stress(5e7);
+    RdModel light(p);
+    light.stress(5e6);
+    const double heavy_before = heavy.nit();
+    const double light_before = light.nit();
+    heavy.relax(1e6);
+    light.relax(1e6);
+    // Absolute recovery is larger for the more-degraded device.
+    EXPECT_GT(heavy_before - heavy.nit(),
+              light_before - light.nit());
+}
+
+TEST(RdModel, SaturatesAtMaxNit)
+{
+    RdModel m;
+    m.stress(1e12);
+    EXPECT_NEAR(m.fractionDegraded(), 1.0, 1e-6);
+    EXPECT_NEAR(m.vthShift(), m.params().vthShiftAtMaxNit, 1e-6);
+}
+
+TEST(RdModel, AnalyticStepInvariance)
+{
+    // Closed-form updates: one long step == many short steps.
+    RdModel a;
+    RdModel b;
+    a.stress(1e6);
+    for (int i = 0; i < 1000; ++i)
+        b.stress(1e3);
+    EXPECT_NEAR(a.nit(), b.nit(), 1e-12);
+}
+
+TEST(RdModel, TemperatureAccelerates)
+{
+    RdModelParams hot;
+    hot.temperature = 398.0;
+    RdModelParams cold;
+    cold.temperature = 318.0;
+    RdModel h(hot);
+    RdModel c(cold);
+    h.stress(1e6);
+    c.stress(1e6);
+    EXPECT_GT(h.nit(), c.nit());
+}
+
+TEST(RdModel, VoltageAccelerates)
+{
+    RdModelParams high;
+    high.stressVoltage = 1.3;
+    RdModelParams low;
+    low.stressVoltage = 0.9;
+    RdModel h(high);
+    RdModel l(low);
+    h.stress(1e6);
+    l.stress(1e6);
+    EXPECT_GT(h.nit(), l.nit());
+}
+
+TEST(RdModel, EquilibriumLinearWithEqualRates)
+{
+    for (double alpha : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+        EXPECT_NEAR(RdModel::equilibriumFraction(alpha), alpha,
+                    1e-12);
+    }
+}
+
+TEST(RdModel, EquilibriumReachedBySimulation)
+{
+    RdModelParams p;
+    p.kForward = 1e-4;
+    p.kReverse = 1e-4;
+    RdModel m(p);
+    // 30% duty cycle square wave until convergence.
+    for (int i = 0; i < 20000; ++i) {
+        m.stress(30.0);
+        m.relax(70.0);
+    }
+    EXPECT_NEAR(m.fractionDegraded(), 0.3, 0.02);
+    EXPECT_NEAR(m.stressFraction(), 0.3, 1e-9);
+}
+
+TEST(RdModel, ObserveMapsGateLevel)
+{
+    RdModel a;
+    a.observe(false, 100.0); // gate "0" = stress
+    RdModel b;
+    b.stress(100.0);
+    EXPECT_DOUBLE_EQ(a.nit(), b.nit());
+}
+
+TEST(RdModel, ResetRestoresPristine)
+{
+    RdModel m;
+    m.stress(1e6);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.nit(), 0.0);
+    EXPECT_DOUBLE_EQ(m.elapsedSeconds(), 0.0);
+}
+
+// ------------------------------------------------------- LongTerm
+
+TEST(LongTerm, TenXReductionAtHalfDuty)
+{
+    LongTermModel m;
+    const double full = m.endOfLifeShift(1.0);
+    const double half = m.endOfLifeShift(0.5);
+    EXPECT_NEAR(full / half, 10.0, 1e-9);
+}
+
+TEST(LongTerm, EndOfLifeCalibration)
+{
+    LongTermModel m;
+    // 10% relative shift at design lifetime under DC stress.
+    EXPECT_NEAR(m.endOfLifeShift(1.0), 0.1, 1e-12);
+}
+
+TEST(LongTerm, ShiftMonotoneInTimeAndDuty)
+{
+    LongTermModel m;
+    EXPECT_LT(m.vthShift(0.5, 1e6), m.vthShift(0.5, 1e8));
+    EXPECT_LT(m.vthShift(0.3, 1e8), m.vthShift(0.9, 1e8));
+}
+
+TEST(LongTerm, ZeroDutyNeverDegrades)
+{
+    LongTermModel m;
+    EXPECT_DOUBLE_EQ(m.vthShift(0.0, 1e9), 0.0);
+    EXPECT_TRUE(std::isinf(m.lifetime(0.0, 0.1)));
+}
+
+TEST(LongTerm, LifetimeInverseOfShift)
+{
+    LongTermModel m;
+    const double limit = 0.05;
+    const double t = m.lifetime(0.7, limit);
+    EXPECT_NEAR(m.vthShift(0.7, t), limit, 1e-9);
+}
+
+TEST(LongTerm, LifetimeGainAtLeast4x)
+{
+    // Paper quotes >= 4X lifetime from duty-cycle reduction [4].
+    LongTermModel m;
+    EXPECT_GE(m.lifetimeGain(1.0, 0.5), 4.0);
+}
+
+// ------------------------------------------------------ Guardband
+
+TEST(Guardband, PaperAnchors)
+{
+    const GuardbandModel g = GuardbandModel::paperCalibrated();
+    EXPECT_NEAR(g.guardbandForZeroProb(1.0), 0.20, 1e-12);
+    EXPECT_NEAR(g.guardbandForZeroProb(0.5), 0.02, 1e-12);
+    // FP register file: bias 45.5% -> stress 54.5% -> 3.6%.
+    EXPECT_NEAR(g.guardbandForCellBias(0.455), 0.0364, 5e-4);
+    // Scheduler: worst bias 63.2% -> 6.7%.
+    EXPECT_NEAR(g.guardbandForCellBias(0.632), 0.0675, 5e-4);
+    // Adder at 21% utilisation: p = 0.21 + 0.79*0.5 = 0.605 -> 5.8%.
+    EXPECT_NEAR(g.guardbandForZeroProb(0.605), 0.0578, 5e-4);
+    // Adder at 30%: p = 0.65 -> 7.4%.
+    EXPECT_NEAR(g.guardbandForZeroProb(0.65), 0.074, 5e-4);
+}
+
+TEST(Guardband, TenXReductionFromBalancing)
+{
+    const GuardbandModel g = GuardbandModel::paperCalibrated();
+    EXPECT_NEAR(g.reductionFactor(0.5), 10.0, 1e-9);
+}
+
+TEST(Guardband, MonotoneInStress)
+{
+    const GuardbandModel g = GuardbandModel::paperCalibrated();
+    double prev = -1.0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        const double gb = g.guardbandForZeroProb(p);
+        EXPECT_GE(gb, prev);
+        prev = gb;
+    }
+}
+
+TEST(Guardband, CellBiasFoldsSymmetrically)
+{
+    const GuardbandModel g = GuardbandModel::paperCalibrated();
+    EXPECT_DOUBLE_EQ(g.guardbandForCellBias(0.2),
+                     g.guardbandForCellBias(0.8));
+    EXPECT_DOUBLE_EQ(g.guardbandForCellBias(0.0),
+                     g.guardbandForZeroProb(1.0));
+}
+
+TEST(Guardband, WideDeviceBeatsBalancedNarrow)
+{
+    // Section 4.3: wide PMOS at 100% stress degrade less than
+    // narrow at 50%.
+    const GuardbandModel g = GuardbandModel::paperCalibrated();
+    EXPECT_LT(g.guardbandForZeroProb(1.0, WidthClass::Wide),
+              g.guardbandForZeroProb(0.5, WidthClass::Narrow));
+}
+
+TEST(Guardband, UnstressedNeedsNoMargin)
+{
+    const GuardbandModel g = GuardbandModel::paperCalibrated();
+    EXPECT_DOUBLE_EQ(g.guardbandForZeroProb(0.0), 0.0);
+}
+
+TEST(Vmin, PaperAnchors)
+{
+    const VminModel v = VminModel::paperCalibrated();
+    EXPECT_NEAR(v.vminIncreaseForCellBias(0.5), 0.01, 1e-12);
+    EXPECT_NEAR(v.vminIncreaseForCellBias(1.0), 0.10, 1e-12);
+    // 10% Vmin tolerates 10% VTH shift [1].
+    EXPECT_NEAR(v.vminIncreaseForVthShift(0.10), 0.10, 1e-12);
+}
+
+TEST(Vmin, PowerFactorQuadratic)
+{
+    const VminModel v = VminModel::paperCalibrated();
+    EXPECT_NEAR(v.powerFactor(0.10), 1.21, 1e-12);
+    EXPECT_DOUBLE_EQ(v.powerFactor(0.0), 1.0);
+}
+
+// ----------------------------------------------------- Efficiency
+
+TEST(Efficiency, PaperWorkedExamples)
+{
+    // Section 4.2: baseline 1.73, inverting 1.41.
+    EXPECT_NEAR(nbtiEfficiency(1.0, 0.20, 1.0), 1.728, 1e-3);
+    EXPECT_NEAR(nbtiEfficiency(1.10, 0.02, 1.0), 1.413, 1e-3);
+    // Section 4.3: adder 1.24.
+    EXPECT_NEAR(nbtiEfficiency(1.0, 0.074, 1.0), 1.239, 1e-3);
+    // Section 4.4: register file 1.12.
+    EXPECT_NEAR(nbtiEfficiency(1.0, 0.036, 1.01), 1.124, 1e-3);
+    // Section 4.5: scheduler 1.24.
+    EXPECT_NEAR(nbtiEfficiency(1.0, 0.067, 1.02), 1.239, 1e-3);
+    // Section 4.6: DL0 1.09.
+    EXPECT_NEAR(nbtiEfficiency(1.0053, 0.02, 1.01), 1.089, 1e-3);
+}
+
+TEST(Efficiency, BlockOverload)
+{
+    BlockCost b;
+    b.cycleTimeFactor = 1.0;
+    b.guardband = 0.20;
+    b.tdpFactor = 1.0;
+    EXPECT_NEAR(nbtiEfficiency(b), 1.728, 1e-3);
+}
+
+TEST(Efficiency, ProcessorRollupPaperExample)
+{
+    // Section 4.7: CPI 1.007, guardband 7.4% max, TDP 1.01 -> 1.28.
+    ProcessorCost cost(1.007);
+    cost.addBlock({"adder", 1.0, 0.074, 1.00, 1.0});
+    cost.addBlock({"regfile", 1.0, 0.036, 1.01, 1.0});
+    cost.addBlock({"sched", 1.0, 0.067, 1.02, 1.0});
+    cost.addBlock({"dl0", 1.0, 0.02, 1.01, 1.0});
+    cost.addBlock({"dtlb", 1.0, 0.02, 1.00, 1.0});
+    EXPECT_NEAR(cost.delay(), 1.007, 1e-9);
+    EXPECT_NEAR(cost.tdp(), 1.008, 1e-3);
+    EXPECT_NEAR(cost.guardband(), 0.074, 1e-12);
+    EXPECT_NEAR(cost.efficiency(), 1.28, 0.01);
+}
+
+TEST(Efficiency, MaxCycleTimeDominates)
+{
+    ProcessorCost cost(1.0);
+    cost.addBlock({"a", 1.00, 0.0, 1.0, 1.0});
+    cost.addBlock({"b", 1.15, 0.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(cost.maxCycleTime(), 1.15);
+    EXPECT_DOUBLE_EQ(cost.delay(), 1.15);
+}
+
+TEST(Efficiency, TdpWeights)
+{
+    ProcessorCost cost(1.0);
+    cost.addBlock({"small", 1.0, 0.0, 2.0, 1.0});
+    cost.addBlock({"large", 1.0, 0.0, 1.0, 3.0});
+    EXPECT_NEAR(cost.tdp(), (2.0 + 3.0) / 4.0, 1e-12);
+}
+
+TEST(Efficiency, EmptyProcessorIsUnity)
+{
+    ProcessorCost cost(1.0);
+    EXPECT_DOUBLE_EQ(cost.efficiency(), 1.0);
+}
+
+TEST(Efficiency, MonotoneInEachFactor)
+{
+    EXPECT_LT(nbtiEfficiency(1.0, 0.02, 1.0),
+              nbtiEfficiency(1.0, 0.10, 1.0));
+    EXPECT_LT(nbtiEfficiency(1.0, 0.02, 1.0),
+              nbtiEfficiency(1.1, 0.02, 1.0));
+    EXPECT_LT(nbtiEfficiency(1.0, 0.02, 1.0),
+              nbtiEfficiency(1.0, 0.02, 1.1));
+}
+
+/** Property sweep: delay cubing means 1% delay costs ~3x more than
+ *  1% TDP. */
+TEST(Efficiency, DelayCubedProperty)
+{
+    const double base = nbtiEfficiency(1.0, 0.0, 1.0);
+    const double delay = nbtiEfficiency(1.01, 0.0, 1.0);
+    const double tdp = nbtiEfficiency(1.0, 0.0, 1.01);
+    EXPECT_NEAR((delay - base) / (tdp - base), 3.0, 0.1);
+}
+
+} // namespace
+} // namespace penelope

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Integration tests for the out-of-order pipeline model and the
+ * experiment runners built on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hh"
+#include "pipeline/pipeline.hh"
+#include "trace/workload.hh"
+
+namespace penelope {
+namespace {
+
+TEST(Pipeline, RunsToCompletion)
+{
+    WorkloadSet w;
+    Pipeline pipe{PipelineConfig()};
+    TraceGenerator gen = w.generator(0);
+    const PipelineStats s = pipe.run(gen, 10000);
+    EXPECT_EQ(s.uops, 10000u);
+    EXPECT_GT(s.cycles, 2000u);
+    EXPECT_GT(s.cpi, 0.3);
+    EXPECT_LT(s.cpi, 6.0);
+}
+
+TEST(Pipeline, StatsInPhysicalRange)
+{
+    WorkloadSet w;
+    Pipeline pipe{PipelineConfig()};
+    TraceGenerator gen = w.generator(20);
+    const PipelineStats s = pipe.run(gen, 15000);
+    for (double u : s.adderUtilization) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+    EXPECT_GT(s.intRfOccupancy, 0.1);
+    EXPECT_LT(s.intRfOccupancy, 1.0);
+    EXPECT_GT(s.schedOccupancy, 0.0);
+    EXPECT_LE(s.schedOccupancy, 1.0);
+    EXPECT_GT(s.intRfPortFree, 0.5);
+    EXPECT_GT(s.dl0Hits + s.dl0Misses, 1000u);
+    EXPECT_NEAR(s.mruHitFraction[0] + s.mruHitFraction[1] +
+                    s.mruHitFraction[2],
+                1.0, 1e-6);
+}
+
+TEST(Pipeline, PriorityPolicySkewsAdders)
+{
+    WorkloadSet w;
+    PipelineConfig pri;
+    pri.adderPolicy = AdderAllocationPolicy::Priority;
+    Pipeline p1(pri);
+    TraceGenerator g1 = w.generator(0);
+    const PipelineStats s1 = p1.run(g1, 20000);
+
+    PipelineConfig uni;
+    uni.adderPolicy = AdderAllocationPolicy::Uniform;
+    Pipeline p2(uni);
+    TraceGenerator g2 = w.generator(0);
+    const PipelineStats s2 = p2.run(g2, 20000);
+
+    // Priority: port 0 does far more IntAlu work than port 1.
+    EXPECT_GT(s1.adderUtilization[0],
+              2.0 * s1.adderUtilization[1]);
+    // Uniform: the two integer adders are balanced.
+    EXPECT_NEAR(s2.adderUtilization[0], s2.adderUtilization[1],
+                0.03);
+}
+
+TEST(Pipeline, CacheMechanismCostsCycles)
+{
+    WorkloadSet w;
+    // A Server-suite trace with a large working set.
+    const auto server = w.indicesForSuite(SuiteId::Server);
+    PipelineConfig base;
+    Pipeline p1(base);
+    TraceGenerator g1 = w.generator(server[1]);
+    const PipelineStats s1 = p1.run(g1, 20000);
+
+    PipelineConfig mech = base;
+    mech.dl0Mechanism = MechanismKind::SetFixed50;
+    Pipeline p2(mech);
+    TraceGenerator g2 = w.generator(server[1]);
+    const PipelineStats s2 = p2.run(g2, 20000);
+
+    EXPECT_GE(s2.dl0Misses, s1.dl0Misses);
+    EXPECT_GE(s2.cycles, s1.cycles * 0.99);
+}
+
+TEST(Pipeline, IsvProtectionBalancesRegisterFile)
+{
+    WorkloadSet w;
+    PipelineConfig cfg;
+    cfg.intRfIsv = true;
+    cfg.fpRfIsv = true;
+    Pipeline pipe(cfg);
+    TraceGenerator gen = w.generator(4);
+    const PipelineStats s = pipe.run(gen, 30000);
+    const BitBiasTracker &bias =
+        pipe.intRf().finalizeBias(s.cycles);
+    EXPECT_LT(bias.maxWorstCaseStress(), 0.75);
+}
+
+TEST(Pipeline, SchedulerProtectionInPipeline)
+{
+    WorkloadSet w;
+    const SchedulerProfile profile =
+        profileScheduler(w, {0, 200}, 10000);
+    PipelineConfig cfg;
+    Pipeline pipe(cfg);
+    pipe.configureSchedulerProtection(
+        decideProtection(profile.bits));
+    TraceGenerator gen = w.generator(30);
+    const PipelineStats s = pipe.run(gen, 20000);
+    EXPECT_TRUE(pipe.scheduler().protectionEnabled());
+    EXPECT_GT(s.cycles, 0u);
+}
+
+// --------------------------------------------------- Experiments
+
+TEST(Experiments, AdderEndToEnd)
+{
+    WorkloadSet w;
+    ExperimentOptions opt;
+    opt.traceStride = 96;
+    opt.uopsPerTrace = 8000;
+    opt.adderOperandSamples = 600;
+    const auto r = runAdderExperiment(w, opt);
+    EXPECT_EQ(r.pairSweep.size(), 28u);
+    EXPECT_GT(r.baselineGuardband, 0.12);
+    ASSERT_EQ(r.scenarios.size(), 3u);
+    // Figure-5 ordering: 30% > 21% > 11% utilisation guardbands.
+    EXPECT_GT(r.scenarios[0].guardband, r.scenarios[1].guardband);
+    EXPECT_GT(r.scenarios[1].guardband, r.scenarios[2].guardband);
+    EXPECT_LT(r.scenarios[0].guardband, r.baselineGuardband);
+    EXPECT_GT(r.efficiency, 1.0);
+    EXPECT_LT(r.efficiency, nbtiEfficiency(1.0, 0.20, 1.0));
+}
+
+TEST(Experiments, RegFileEndToEnd)
+{
+    WorkloadSet w;
+    ExperimentOptions opt;
+    opt.traceStride = 64;
+    opt.uopsPerTrace = 15000;
+    const auto r = runRegFileExperiment(w, false, opt);
+    EXPECT_EQ(r.baselineBias.size(), 32u);
+    EXPECT_EQ(r.isvBias.size(), 32u);
+    EXPECT_GT(r.baselineWorst, 0.75);
+    EXPECT_LT(r.isvWorst, 0.60);
+    EXPECT_LT(r.guardbandIsv, r.guardbandBaseline);
+    EXPECT_NEAR(r.freeFraction, 0.54, 0.12);
+}
+
+TEST(Experiments, SchedulerEndToEnd)
+{
+    WorkloadSet w;
+    ExperimentOptions opt;
+    opt.traceStride = 96;
+    opt.uopsPerTrace = 10000;
+    const auto r = runSchedulerExperiment(w, opt);
+    EXPECT_EQ(r.baselineBias.size(), fieldLayout().totalBits());
+    EXPECT_GT(r.baselineWorstFig8, 0.9);
+    // Paper: 63.2% residual (ALL1 bits + valid bit).
+    EXPECT_NEAR(r.protectedWorstFig8, 0.632, 0.06);
+    EXPECT_NEAR(r.occupancy, 0.63, 0.08);
+    EXPECT_LT(r.guardband, 0.09);
+}
+
+TEST(Experiments, ProcessorSummaryOrdering)
+{
+    WorkloadSet w;
+    ExperimentOptions opt;
+    opt.traceStride = 96;
+    opt.uopsPerTrace = 8000;
+    opt.cacheUops = 15000;
+    opt.adderOperandSamples = 600;
+    const auto adder = runAdderExperiment(w, opt);
+    const auto int_rf = runRegFileExperiment(w, false, opt);
+    const auto fp_rf = runRegFileExperiment(w, true, opt);
+    const auto sched = runSchedulerExperiment(w, opt);
+    const auto summary = buildProcessorSummary(
+        adder, int_rf, fp_rf, sched, w, opt);
+
+    EXPECT_EQ(summary.blocks.size(), 5u);
+    EXPECT_NEAR(summary.baselineEfficiency, 1.728, 1e-3);
+    EXPECT_NEAR(summary.invertEfficiency, 1.413, 1e-3);
+    // Penelope beats paying the full guardband.
+    EXPECT_LT(summary.penelopeEfficiencyDynamic,
+              summary.baselineEfficiency);
+    // With the best cache mechanism it also beats inverting.
+    EXPECT_LT(summary.penelopeEfficiencyDynamic,
+              summary.invertEfficiency);
+    EXPECT_GT(summary.maxGuardband, 0.04);
+    EXPECT_LT(summary.maxGuardband, 0.10);
+}
+
+} // namespace
+} // namespace penelope
