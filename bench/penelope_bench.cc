@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The experiment multiplexer: one binary for the whole evaluation.
+ *
+ *   penelope_bench --list
+ *   penelope_bench fig5 --stride 4 --jobs 8
+ *   penelope_bench table4 sec11 --full
+ *   penelope_bench --all --jobs 4
+ *
+ * Replaces the thirteen per-figure benchmark binaries.  Option
+ * values are validated (the old harness fed `--stride x` through
+ * atoi and silently ran with stride 0).
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.hh"
+#include "core/registry.hh"
+
+using namespace penelope;
+
+namespace {
+
+int
+usage(std::ostream &os, int exit_code)
+{
+    os << "usage: penelope_bench [experiment...] [options]\n"
+          "       penelope_bench --list\n"
+          "\n"
+          "options:\n"
+          "  --list       list registered experiments and exit\n"
+          "  --all        run every registered experiment\n"
+          "  --stride N   use every N-th of the 531 traces "
+          "(N >= 1, default 16)\n"
+          "  --uops N     uops per trace (N >= 1, default 40000)\n"
+          "  --jobs N     worker threads for per-trace simulation\n"
+          "               (N >= 1, default 1; 0 = all hardware "
+          "threads;\n"
+          "               statistics are identical for any N)\n"
+          "  --full       full workload (stride 1) at paper-scale "
+          "uop counts\n"
+          "  --help       this message\n";
+    return exit_code;
+}
+
+/**
+ * Parse a decimal option value with bounds checking.  Unlike the
+ * old harness's atoi, rejects junk ("4x", "", "-2") and values
+ * outside [min, max] with a real error message.
+ */
+bool
+parseCount(const char *flag, const char *text, std::uint64_t min,
+           std::uint64_t max, std::uint64_t &out)
+{
+    if (!text || !*text) {
+        std::cerr << "penelope_bench: " << flag
+                  << " requires a value\n";
+        return false;
+    }
+    std::uint64_t value = 0;
+    for (const char *p = text; *p; ++p) {
+        if (*p < '0' || *p > '9') {
+            std::cerr << "penelope_bench: " << flag
+                      << " expects a non-negative integer, got '"
+                      << text << "'\n";
+            return false;
+        }
+        const std::uint64_t digit =
+            static_cast<std::uint64_t>(*p - '0');
+        if (value > (UINT64_MAX - digit) / 10) {
+            std::cerr << "penelope_bench: " << flag
+                      << " value '" << text << "' is too large\n";
+            return false;
+        }
+        value = value * 10 + digit;
+    }
+    if (value < min || value > max) {
+        std::cerr << "penelope_bench: " << flag << " must be in ["
+                  << min << ", " << max << "], got " << value
+                  << "\n";
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+void
+listExperiments(std::ostream &os)
+{
+    os << "registered experiments:\n";
+    for (const Experiment &e :
+         ExperimentRegistry::instance().experiments()) {
+        os << "  " << e.name;
+        for (std::size_t pad = e.name.size(); pad < 10; ++pad)
+            os << ' ';
+        os << e.title << " - " << e.description << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerBuiltinExperiments();
+
+    ExperimentOptions options;
+    options.traceStride = 16;
+    options.uopsPerTrace = 40'000;
+    options.cacheUops = 40'000;
+
+    std::vector<std::string> names;
+    bool run_all = false;
+    bool uops_set = false;
+    bool full = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::uint64_t value = 0;
+        if (!std::strcmp(arg, "--help")) {
+            return usage(std::cout, 0);
+        } else if (!std::strcmp(arg, "--list")) {
+            listExperiments(std::cout);
+            return 0;
+        } else if (!std::strcmp(arg, "--all")) {
+            run_all = true;
+        } else if (!std::strcmp(arg, "--full")) {
+            full = true;
+        } else if (!std::strcmp(arg, "--stride")) {
+            if (!parseCount("--stride", i + 1 < argc ? argv[++i]
+                                                     : nullptr,
+                            1, 531, value))
+                return 2;
+            options.traceStride = static_cast<unsigned>(value);
+        } else if (!std::strcmp(arg, "--uops")) {
+            if (!parseCount("--uops", i + 1 < argc ? argv[++i]
+                                                   : nullptr,
+                            1, 1'000'000'000, value))
+                return 2;
+            options.uopsPerTrace =
+                static_cast<std::size_t>(value);
+            options.cacheUops = options.uopsPerTrace;
+            uops_set = true;
+        } else if (!std::strcmp(arg, "--jobs")) {
+            if (!parseCount("--jobs", i + 1 < argc ? argv[++i]
+                                                   : nullptr,
+                            0, 4096, value))
+                return 2;
+            options.jobs = value == 0
+                ? defaultJobs()
+                : static_cast<unsigned>(value);
+        } else if (arg[0] == '-') {
+            std::cerr << "penelope_bench: unknown option '" << arg
+                      << "'\n";
+            return usage(std::cerr, 2);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    if (full) {
+        options.traceStride = 1;
+        options.mechanismTimeScale = 0.2;
+        if (!uops_set) {
+            options.uopsPerTrace = 200'000;
+            options.cacheUops = 200'000;
+        }
+    }
+
+    const ExperimentRegistry &registry =
+        ExperimentRegistry::instance();
+    if (run_all) {
+        names.clear();
+        for (const Experiment &e : registry.experiments())
+            names.push_back(e.name);
+    }
+    if (names.empty()) {
+        std::cerr << "penelope_bench: no experiment given\n\n";
+        listExperiments(std::cerr);
+        std::cerr << '\n';
+        return usage(std::cerr, 2);
+    }
+
+    // Validate every name before running anything.
+    bool unknown = false;
+    for (const std::string &name : names) {
+        if (!registry.find(name)) {
+            std::cerr << "penelope_bench: unknown experiment '"
+                      << name << "'\n";
+            unknown = true;
+        }
+    }
+    if (unknown) {
+        std::cerr << '\n';
+        listExperiments(std::cerr);
+        return 2;
+    }
+
+    const WorkloadSet workload;
+    for (const std::string &name : names) {
+        const Experiment *experiment = registry.find(name);
+        const ExperimentContext ctx{workload, options, std::cout};
+        experiment->run(ctx);
+    }
+    return 0;
+}

@@ -4,12 +4,21 @@
  * netlist evaluation, cache accesses, trace generation, the RD
  * aging model and the scheduler repair machinery.  These guard the
  * simulation throughput the experiment harnesses depend on.
+ *
+ * The Engine* benchmarks run whole experiments through the parallel
+ * experiment engine at several --jobs settings (argument = worker
+ * count); on an N-core machine jobs:N should approach an N-fold
+ * real-time speedup over jobs:1 because per-trace simulations share
+ * no state.  Results are recorded in BENCH_perf.json
+ * (--benchmark_out=BENCH_perf.json --benchmark_out_format=json).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "adder/adder.hh"
 #include "cache/timing.hh"
+#include "common/threadpool.hh"
+#include "core/experiments.hh"
 #include "nbti/rd_model.hh"
 #include "regfile/driver.hh"
 #include "scheduler/driver.hh"
@@ -18,6 +27,8 @@
 using namespace penelope;
 
 namespace {
+
+// ------------------------------------------------------ hot paths
 
 void
 BM_LadnerFischerEvaluate(benchmark::State &state)
@@ -117,6 +128,82 @@ BM_RegFileReplay(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_RegFileReplay);
+
+// ------------------------------------ parallel experiment engine
+
+/** Engine sizing for the serial-vs-parallel comparisons: small
+ *  enough to iterate, large enough that per-trace work dominates
+ *  the pool overhead. */
+ExperimentOptions
+engineOptions(unsigned jobs)
+{
+    ExperimentOptions options;
+    options.traceStride = 16;
+    options.uopsPerTrace = 10'000;
+    options.cacheUops = 10'000;
+    options.jobs = jobs;
+    return options;
+}
+
+void
+BM_EngineRegFileExperiment(benchmark::State &state)
+{
+    WorkloadSet workload;
+    const ExperimentOptions options =
+        engineOptions(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        const auto r =
+            runRegFileExperiment(workload, false, options);
+        benchmark::DoNotOptimize(r.baselineWorst);
+    }
+}
+BENCHMARK(BM_EngineRegFileExperiment)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EnginePerfLoss(benchmark::State &state)
+{
+    WorkloadSet workload;
+    const ExperimentOptions options =
+        engineOptions(static_cast<unsigned>(state.range(0)));
+    const auto traces = workload.strided(options.traceStride);
+    for (auto _ : state) {
+        const PerfLossStats stats = measurePerfLoss(
+            workload, traces, options.cacheUops, CacheConfig(),
+            CacheConfig::tlb(128, 8), MechanismKind::LineFixed50,
+            true, MemTimingParams(), options.mechanismTimeScale,
+            options.jobs);
+        benchmark::DoNotOptimize(stats.meanLoss);
+    }
+}
+BENCHMARK(BM_EnginePerfLoss)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ParallelForOverhead(benchmark::State &state)
+{
+    // Empty bodies: measures pure pool spin-up/teardown per call,
+    // the fixed cost an experiment pays for going parallel.
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        parallelFor(64, jobs, [](std::size_t i) {
+            benchmark::DoNotOptimize(i);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ParallelForOverhead)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
 
 } // namespace
 

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Driving the experiment registry programmatically: enumerate the
+ * catalog, then run one experiment through the parallel engine with
+ * every hardware thread.  This is all `penelope_bench` does; use
+ * the same three calls to embed the evaluation in another tool.
+ */
+
+#include <iostream>
+
+#include "common/threadpool.hh"
+#include "core/registry.hh"
+
+using namespace penelope;
+
+int
+main()
+{
+    registerBuiltinExperiments();
+
+    std::cout << "catalog:\n";
+    for (const Experiment &e :
+         ExperimentRegistry::instance().experiments())
+        std::cout << "  " << e.name << " (" << e.title << ")\n";
+
+    WorkloadSet workload;
+    ExperimentOptions options;
+    options.traceStride = 64;   // small subset for the demo
+    options.uopsPerTrace = 10'000;
+    options.cacheUops = 10'000;
+    options.jobs = defaultJobs();
+
+    std::cout << "\nrunning fig6 on " << options.jobs
+              << " worker(s); statistics are identical for any "
+                 "worker count\n";
+    const Experiment *fig6 =
+        ExperimentRegistry::instance().find("fig6");
+    fig6->run({workload, options, std::cout});
+    return 0;
+}

@@ -3,7 +3,62 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/threadpool.hh"
+
 namespace penelope {
+
+namespace {
+
+/** Outcome of one trace's baseline-vs-mechanism pair of runs. */
+struct TraceLoss
+{
+    double loss = 0.0;
+    double invertRatio = 0.0;
+    double normalizedCycles = 1.0;
+};
+
+/**
+ * Run every trace's baseline and mechanism simulation on the pool.
+ * Each index gets private MemTimingSim instances, so bodies share
+ * nothing; results land in a slot per trace for ordered folding.
+ */
+std::vector<TraceLoss>
+simulateTraceLosses(const WorkloadSet &workload,
+                    const std::vector<unsigned> &trace_indices,
+                    std::size_t uops_per_trace,
+                    const CacheConfig &dl0_config,
+                    const CacheConfig &dtlb_config,
+                    MechanismKind dl0_mechanism,
+                    MechanismKind dtlb_mechanism,
+                    bool ratio_from_dl0,
+                    const MemTimingParams &params,
+                    double time_scale, unsigned jobs)
+{
+    std::vector<TraceLoss> results(trace_indices.size());
+    parallelFor(trace_indices.size(), jobs, [&](std::size_t k) {
+        const unsigned index = trace_indices[k];
+        TraceGenerator base_gen = workload.generator(index);
+        MemTimingSim base(dl0_config, dtlb_config, params,
+                          MechanismKind::None, MechanismKind::None,
+                          time_scale);
+        const MemSimResult rb = base.run(base_gen, uops_per_trace);
+
+        TraceGenerator mech_gen = workload.generator(index);
+        MemTimingSim mech(dl0_config, dtlb_config, params,
+                          dl0_mechanism, dtlb_mechanism,
+                          time_scale);
+        const MemSimResult rm = mech.run(mech_gen, uops_per_trace);
+
+        TraceLoss &r = results[k];
+        r.loss = rm.cycles / rb.cycles - 1.0;
+        r.invertRatio = ratio_from_dl0 ? rm.dl0AvgInvertRatio
+                                       : rm.dtlbAvgInvertRatio;
+        r.normalizedCycles = rm.cycles / rb.cycles;
+    });
+    return results;
+}
+
+} // namespace
 
 const char *
 mechanismName(MechanismKind kind)
@@ -116,35 +171,26 @@ measurePerfLoss(const WorkloadSet &workload,
                 const CacheConfig &dl0_config,
                 const CacheConfig &dtlb_config,
                 MechanismKind mechanism, bool apply_to_dl0,
-                const MemTimingParams &params, double time_scale)
+                const MemTimingParams &params, double time_scale,
+                unsigned jobs)
 {
     PerfLossStats stats;
     RunningStats loss;
     RunningStats ratio;
     unsigned above5 = 0;
     unsigned above10 = 0;
-    for (unsigned index : trace_indices) {
-        TraceGenerator base_gen = workload.generator(index);
-        MemTimingSim base(dl0_config, dtlb_config, params,
-                          MechanismKind::None, MechanismKind::None,
-                          time_scale);
-        const MemSimResult rb = base.run(base_gen, uops_per_trace);
-
-        TraceGenerator mech_gen = workload.generator(index);
-        MemTimingSim mech(
-            dl0_config, dtlb_config, params,
-            apply_to_dl0 ? mechanism : MechanismKind::None,
-            apply_to_dl0 ? MechanismKind::None : mechanism,
-            time_scale);
-        const MemSimResult rm = mech.run(mech_gen, uops_per_trace);
-
-        const double l = rm.cycles / rb.cycles - 1.0;
-        loss.add(l);
-        ratio.add(apply_to_dl0 ? rm.dl0AvgInvertRatio
-                               : rm.dtlbAvgInvertRatio);
-        if (l > 0.05)
+    const auto results = simulateTraceLosses(
+        workload, trace_indices, uops_per_trace, dl0_config,
+        dtlb_config,
+        apply_to_dl0 ? mechanism : MechanismKind::None,
+        apply_to_dl0 ? MechanismKind::None : mechanism,
+        apply_to_dl0, params, time_scale, jobs);
+    for (const TraceLoss &r : results) {
+        loss.add(r.loss);
+        ratio.add(r.invertRatio);
+        if (r.loss > 0.05)
             ++above5;
-        if (l > 0.10)
+        if (r.loss > 0.10)
             ++above10;
     }
     stats.meanLoss = loss.mean();
@@ -168,22 +214,15 @@ combinedNormalizedCpi(const WorkloadSet &workload,
                       const CacheConfig &dtlb_config,
                       MechanismKind mechanism,
                       const MemTimingParams &params,
-                      double time_scale)
+                      double time_scale, unsigned jobs)
 {
     RunningStats norm;
-    for (unsigned index : trace_indices) {
-        TraceGenerator base_gen = workload.generator(index);
-        MemTimingSim base(dl0_config, dtlb_config, params,
-                          MechanismKind::None, MechanismKind::None,
-                          time_scale);
-        const MemSimResult rb = base.run(base_gen, uops_per_trace);
-
-        TraceGenerator mech_gen = workload.generator(index);
-        MemTimingSim mech(dl0_config, dtlb_config, params,
-                          mechanism, mechanism, time_scale);
-        const MemSimResult rm = mech.run(mech_gen, uops_per_trace);
-        norm.add(rm.cycles / rb.cycles);
-    }
+    const auto results = simulateTraceLosses(
+        workload, trace_indices, uops_per_trace, dl0_config,
+        dtlb_config, mechanism, mechanism, true, params,
+        time_scale, jobs);
+    for (const TraceLoss &r : results)
+        norm.add(r.normalizedCycles);
     return norm.mean();
 }
 

@@ -115,6 +115,11 @@ struct PerfLossStats
  * Measure the performance loss of @p mechanism applied to the DL0
  * (@p apply_to_dl0 true) or the DTLB (false), against a
  * no-mechanism baseline, averaged over the given workload traces.
+ *
+ * Traces are simulated concurrently on @p jobs workers (each trace
+ * drives its own private cache pair) and per-trace losses are
+ * folded in trace order, so the result is bit-identical for any
+ * jobs value.
  */
 PerfLossStats
 measurePerfLoss(const WorkloadSet &workload,
@@ -124,11 +129,12 @@ measurePerfLoss(const WorkloadSet &workload,
                 const CacheConfig &dtlb_config,
                 MechanismKind mechanism, bool apply_to_dl0,
                 const MemTimingParams &params = MemTimingParams(),
-                double time_scale = 0.1);
+                double time_scale = 0.1, unsigned jobs = 1);
 
 /**
  * Combined normalised CPI with mechanisms on both DL0 and DTLB
  * (the Section-4.7 input: 1.007 for LineFixed50% on both).
+ * Parallel over traces like measurePerfLoss.
  */
 double
 combinedNormalizedCpi(const WorkloadSet &workload,
@@ -139,7 +145,7 @@ combinedNormalizedCpi(const WorkloadSet &workload,
                       MechanismKind mechanism,
                       const MemTimingParams &params =
                           MemTimingParams(),
-                      double time_scale = 0.1);
+                      double time_scale = 0.1, unsigned jobs = 1);
 
 } // namespace penelope
 

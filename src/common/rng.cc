@@ -26,6 +26,13 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t stream)
+{
+    std::uint64_t x = base ^ (stream + 1) * 0x9e3779b97f4a7c15ULL;
+    return splitMix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     reseed(seed);

@@ -17,6 +17,15 @@
 namespace penelope {
 
 /**
+ * Derive a statistically independent seed for stream @p stream from
+ * @p base (SplitMix64 mix).  The parallel experiment engine seeds
+ * each per-trace simulation with mixSeed(config seed, trace index)
+ * so results do not depend on how traces are scheduled onto
+ * workers.
+ */
+std::uint64_t mixSeed(std::uint64_t base, std::uint64_t stream);
+
+/**
  * Deterministic random number generator (xoshiro256**).
  *
  * Satisfies the UniformRandomBitGenerator named requirement so it can

@@ -1,0 +1,136 @@
+#include "threadpool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace penelope {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = std::max(1u, threads);
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n));
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                // Keep draining: sibling items are independent and
+                // leaving them unrun would deadlock no one, but
+                // consuming the range lets all workers exit fast.
+                next.store(n, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    ThreadPool pool(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.submit(drain);
+    pool.wait();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace penelope

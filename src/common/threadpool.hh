@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fixed-size thread pool and the parallelFor helper the experiment
+ * engine is built on.
+ *
+ * The pool is deliberately work-stealing-free: a single FIFO queue
+ * guarded by one mutex.  Per-trace simulation work items are large
+ * (tens of thousands of simulated uops), so queue contention is
+ * negligible and the simple design keeps the execution model easy
+ * to reason about.  Determinism of merged experiment statistics is
+ * the caller's job: workers never share mutable simulation state,
+ * and results are folded in item order after the parallel phase.
+ */
+
+#ifndef PENELOPE_COMMON_THREADPOOL_HH
+#define PENELOPE_COMMON_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace penelope {
+
+/**
+ * Fixed-size pool of worker threads consuming a FIFO task queue.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished running, then
+     * rethrow the first exception any task threw (if one did).
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;
+    std::exception_ptr firstError_;
+    bool stopping_ = false;
+};
+
+/**
+ * Default worker count: the hardware concurrency, or 1 when the
+ * runtime cannot report it.
+ */
+unsigned defaultJobs();
+
+/**
+ * Run body(i) for every i in [0, n), fanned across @p jobs workers.
+ *
+ * With jobs <= 1 (or n <= 1) the loop runs inline on the calling
+ * thread with no pool at all, so `--jobs 1` is a true serial
+ * reference run.  Indices are handed out through an atomic counter;
+ * the first exception thrown by any body is rethrown on the caller
+ * after all workers finish.  body must not touch shared mutable
+ * state (give every index its own accumulator and merge after).
+ */
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace penelope
+
+#endif // PENELOPE_COMMON_THREADPOOL_HH

@@ -1,0 +1,861 @@
+/**
+ * @file
+ * The built-in experiment catalog: every figure/table of the
+ * paper's evaluation, registered by name into the
+ * ExperimentRegistry.  These runners used to be thirteen separate
+ * benchmark binaries; they now share one `penelope_bench`
+ * multiplexer, the parallel experiment engine, and this file.
+ */
+
+#include "registry.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "adder/adder.hh"
+#include "adder/analysis.hh"
+#include "adder/idle_inputs.hh"
+#include "cache/branch_predictor.hh"
+#include "circuit/aging.hh"
+#include "common/table.hh"
+#include "nbti/long_term.hh"
+#include "nbti/rd_model.hh"
+#include "scheduler/techniques.hh"
+#include "trace/suite.hh"
+
+namespace penelope {
+
+namespace {
+
+void
+printHeader(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n\n";
+}
+
+// ------------------------------------------------------- Figure 1
+
+void
+runFig1(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    printHeader(os, "Figure 1: NIT under alternating stress/relax");
+
+    RdModelParams params;
+    params.kForward = 2.0e-6;
+    params.kReverse = 2.0e-6;
+    RdModel pmos(params);
+
+    TextTable table({"phase", "t (hours)", "NIT / NITmax",
+                     "dVTH (mV)", "rel. dVTH"});
+    const double phase_hours = 250.0;
+    const double phase_s = phase_hours * 3600.0;
+    double t_hours = 0.0;
+    for (int phase = 0; phase < 8; ++phase) {
+        const bool stressing = (phase % 2) == 0;
+        // Sample four points inside each phase.
+        for (int s = 1; s <= 4; ++s) {
+            pmos.observe(!stressing, phase_s / 4.0);
+            t_hours += phase_hours / 4.0;
+            table.addRow({stressing ? "stress" : "relax",
+                          TextTable::num(t_hours, 0),
+                          TextTable::num(pmos.fractionDegraded(), 4),
+                          TextTable::num(pmos.vthShift() * 1000, 2),
+                          TextTable::pct(pmos.relativeVthShift())});
+        }
+        table.addSeparator();
+    }
+    table.print(os);
+
+    os << "\nExpected shape (paper Fig. 1): NIT rises during "
+          "stress with decreasing slope,\nfalls during relax "
+          "without ever reaching zero; the envelope keeps "
+          "rising.\n";
+
+    // Equilibrium linearity: the property behind the guardband map.
+    TextTable eq({"zero-signal prob", "equilibrium NIT fraction"});
+    for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        eq.addRow({TextTable::pct(alpha, 0),
+                   TextTable::num(
+                       RdModel::equilibriumFraction(alpha, params),
+                       3)});
+    }
+    os << '\n';
+    eq.print(os);
+
+    // Lifetime extension from duty-cycle reduction (paper quotes at
+    // least 4X from Alam; 10X VTH-shift reduction from [1]).
+    LongTermModel lt;
+    os << "\nLong-term model: end-of-life dVTH at 100% duty = "
+       << TextTable::pct(lt.endOfLifeShift(1.0))
+       << ", at 50% duty = "
+       << TextTable::pct(lt.endOfLifeShift(0.5))
+       << " (10X reduction [1])\n";
+}
+
+// ------------------------------------------------------- Figure 3
+
+void
+runFig3(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    printHeader(os, "Figure 3: technique decision surface");
+
+    TextTable table({"occupancy", "bias0 (busy)", "technique", "K",
+                     "expected bias after repair"});
+    for (double occ : {0.10, 0.30, 0.50, 0.63, 0.75, 0.90, 1.00}) {
+        for (double bias : {0.05, 0.25, 0.50, 0.75, 0.95}) {
+            const BitDecision d = chooseTechnique(occ, bias);
+            table.addRow(
+                {TextTable::pct(occ, 0), TextTable::pct(bias, 0),
+                 techniqueName(d.technique),
+                 d.technique == Technique::All1K ||
+                         d.technique == Technique::All0K
+                     ? TextTable::pct(d.k, 0)
+                     : std::string("-"),
+                 TextTable::pct(expectedBias(d, occ, bias), 1)});
+        }
+        table.addSeparator();
+    }
+    table.print(os);
+
+    os << "\nSituation III (occupancy x bias > 50%) cannot "
+          "reach perfect balancing;\nALL1/ALL0 pins the idle "
+          "value and the residual bias equals\noccupancy x "
+          "bias, exactly the paper's 63.2% scheduler "
+          "worst case.\n";
+}
+
+// ------------------------------------------------------- Figure 4
+
+void
+runFig4(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    printHeader(os,
+                "Figure 4: narrow PMOS at 100% zero-signal "
+                "probability per input pair");
+
+    LadnerFischerAdder adder(32);
+    const GuardbandModel model = GuardbandModel::paperCalibrated();
+    AdderAgingAnalysis analysis(adder, model);
+
+    os << "netlist: " << adder.netlist().numGates() << " gates, "
+       << adder.netlist().numPmos() << " PMOS devices, depth "
+       << adder.netlist().depth() << "\n\n";
+
+    TextTable table({"pair", "% narrow @100% stress",
+                     "paper reference"});
+    const auto sweep = analysis.sweepPairs();
+    const InputPair best = analysis.bestPair();
+    for (const auto &entry : sweep) {
+        std::string note;
+        if (entry.pair == InputPair{0, 7})
+            note = "paper's chosen pair (1+8)";
+        if (entry.pair == best)
+            note += note.empty() ? "measured best"
+                                 : " / measured best";
+        table.addRow({pairLabel(entry.pair),
+                      TextTable::pct(
+                          entry.narrowFullyStressedFraction),
+                      note});
+    }
+    table.print(os);
+
+    os << "\nMeasured best pair: " << pairLabel(best)
+       << " (paper: 1+8; both belong to the family of pairs "
+          "that alternate\nevery input rail, the property "
+          "the paper's selection criterion captures)\n";
+
+    // Ablations: other topologies under the same sweep.
+    printHeader(os, "Ablation: best pair per adder topology");
+    TextTable ab({"topology", "PMOS", "best pair",
+                  "% narrow @100%"});
+    RippleCarryAdder rc(32);
+    KoggeStoneAdder ks(32);
+    for (Adder *a : {static_cast<Adder *>(&adder),
+                     static_cast<Adder *>(&rc),
+                     static_cast<Adder *>(&ks)}) {
+        AdderAgingAnalysis an(*a, model);
+        const InputPair p = an.bestPair();
+        const auto probs = an.zeroProbsForPair(p);
+        const AgingSummary s = an.summarize(probs);
+        ab.addRow({a->name(),
+                   TextTable::count(a->netlist().numPmos()),
+                   pairLabel(p),
+                   TextTable::pct(s.narrowFullyStressedFraction)});
+    }
+    ab.print(os);
+}
+
+// ------------------------------------------------------- Figure 5
+
+void
+runFig5(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    printHeader(os, "Figure 5: adder guardband vs utilisation");
+
+    const AdderExperimentResult r =
+        runAdderExperiment(ctx.workload, ctx.options);
+
+    TextTable table({"scenario", "measured guardband",
+                     "paper guardband"});
+    table.addRow({"real inputs (unprotected)",
+                  TextTable::pct(r.baselineGuardband), "20%"});
+    const char *paper_values[] = {"7.4%", "5.8%", "~4%"};
+    unsigned i = 0;
+    for (const auto &scenario : r.scenarios) {
+        table.addRow(
+            {"idle pair " + pairLabel(r.bestPair) + " @ " +
+                 TextTable::pct(scenario.utilization, 0) +
+                 " utilisation",
+             TextTable::pct(scenario.guardband), paper_values[i]});
+        ++i;
+    }
+    table.print(os);
+
+    os << "\nAdder utilisation measured in the pipeline:\n"
+       << "  priority allocation: "
+       << TextTable::pct(r.priorityUtilMin, 1) << " .. "
+       << TextTable::pct(r.priorityUtilMax, 1)
+       << " (paper: 11% .. 30%)\n"
+       << "  uniform allocation:  "
+       << TextTable::pct(r.uniformUtil, 1) << " (paper: 21%)\n";
+
+    os << "\nNBTIefficiency at worst-case (30%) utilisation: "
+       << TextTable::num(r.efficiency)
+       << " (paper: 1.24; baseline "
+       << TextTable::num(nbtiEfficiency(1.0, 0.20, 1.0)) << ")\n";
+}
+
+// ------------------------------------------------------- Figure 6
+
+void
+printBiasSeries(std::ostream &os, const std::string &name,
+                const RegFileExperimentResult &r)
+{
+    printHeader(os, "Figure 6 series: " + name + " bit bias");
+    TextTable table({"bit", "baseline bias0", "ISV bias0"});
+    for (std::size_t b = 0; b < r.baselineBias.size(); ++b) {
+        // Print every bit for 32-bit files, every 4th for FP.
+        if (r.baselineBias.size() > 40 && (b % 4) != 0)
+            continue;
+        table.addRow({TextTable::count(b + 1),
+                      TextTable::pct(r.baselineBias[b], 1),
+                      TextTable::pct(r.isvBias[b], 1)});
+    }
+    table.print(os);
+}
+
+void
+runFig6(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    const auto int_rf =
+        runRegFileExperiment(ctx.workload, false, ctx.options);
+    const auto fp_rf =
+        runRegFileExperiment(ctx.workload, true, ctx.options);
+
+    printBiasSeries(os, "INT register file (32 bits)", int_rf);
+    printBiasSeries(os, "FP register file (80 bits)", fp_rf);
+
+    printHeader(os, "Figure 6 summary");
+    TextTable s({"metric", "measured", "paper"});
+    s.addRow({"INT worst-case stress, baseline",
+              TextTable::pct(int_rf.baselineWorst, 1), "89.9%"});
+    s.addRow({"INT worst-case stress, ISV",
+              TextTable::pct(int_rf.isvWorst, 1), "48.5% (+1.5%)"});
+    s.addRow({"FP worst-case stress, baseline",
+              TextTable::pct(fp_rf.baselineWorst, 1), "84.2%"});
+    s.addRow({"FP worst-case stress, ISV",
+              TextTable::pct(fp_rf.isvWorst, 1), "45.5% (+4.5%)"});
+    s.addRow({"INT registers free",
+              TextTable::pct(int_rf.freeFraction, 1), "54%"});
+    s.addRow({"FP registers free",
+              TextTable::pct(fp_rf.freeFraction, 1), "69%"});
+    s.addRow({"INT guardband baseline -> ISV",
+              TextTable::pct(int_rf.guardbandBaseline, 1) + " -> " +
+                  TextTable::pct(int_rf.guardbandIsv, 1),
+              "20% -> ~2-3.6%"});
+    s.addRow({"FP guardband baseline -> ISV",
+              TextTable::pct(fp_rf.guardbandBaseline, 1) + " -> " +
+                  TextTable::pct(fp_rf.guardbandIsv, 1),
+              "20% -> 3.6%"});
+    s.print(os);
+
+    const double guardband =
+        std::max(int_rf.guardbandIsv, fp_rf.guardbandIsv);
+    os << "\nNBTIefficiency (invert-at-release): "
+       << TextTable::num(nbtiEfficiency(1.0, guardband, 1.01))
+       << " (paper: 1.12; periodic inversion 1.41)\n";
+
+    os << "ISV updates applied/discarded/skipped (INT): "
+       << int_rf.isvStats.updatesApplied << "/"
+       << int_rf.isvStats.updatesDiscarded << "/"
+       << int_rf.isvStats.updatesSkipped << "\n";
+}
+
+// ------------------------------------------------------- Figure 8
+
+void
+runFig8(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    const SchedulerExperimentResult r =
+        runSchedulerExperiment(ctx.workload, ctx.options);
+
+    printHeader(os, "Table 2: field layout and chosen techniques");
+    TextTable fields({"field", "bits", "technique", "K range"});
+    const FieldLayout &layout = fieldLayout();
+    for (const auto &t : r.techniques) {
+        const FieldSpec &spec = layout.spec(t.field);
+        std::string k;
+        if (t.maxK > 0.0) {
+            k = TextTable::pct(t.minK, 0);
+            if (t.maxK > t.minK)
+                k += " .. " + TextTable::pct(t.maxK, 0);
+        }
+        fields.addRow({t.fieldName, TextTable::count(spec.width),
+                       techniqueName(t.dominantTechnique), k});
+    }
+    fields.print(os);
+
+    printHeader(os, "Figure 8: per-field worst bias towards 0");
+    TextTable bias({"field", "baseline worst", "protected worst"});
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        const FieldSpec &spec = layout.spec(f);
+        if (!spec.inFigure8)
+            continue;
+        double base_worst = 0.5;
+        double prot_worst = 0.5;
+        for (unsigned b = 0; b < spec.width; ++b) {
+            const double pb = r.baselineBias[spec.offset + b];
+            const double pp = r.protectedBias[spec.offset + b];
+            base_worst =
+                std::max(base_worst, std::max(pb, 1.0 - pb));
+            prot_worst =
+                std::max(prot_worst, std::max(pp, 1.0 - pp));
+        }
+        bias.addRow({spec.name, TextTable::pct(base_worst, 1),
+                     TextTable::pct(prot_worst, 1)});
+    }
+    bias.print(os);
+
+    printHeader(os, "Figure 8 summary");
+    TextTable s({"metric", "measured", "paper"});
+    s.addRow({"scheduler occupancy",
+              TextTable::pct(r.occupancy, 1), "63%"});
+    s.addRow({"worst bias, baseline",
+              TextTable::pct(r.baselineWorstFig8, 1), "~100%"});
+    s.addRow({"worst bias, protected",
+              TextTable::pct(r.protectedWorstFig8, 1), "63.2%"});
+    s.addRow({"guardband", TextTable::pct(r.guardband, 1), "6.7%"});
+    s.addRow({"NBTIefficiency", TextTable::num(r.efficiency),
+              "1.24 (inverting: 1.41)"});
+    s.print(os);
+}
+
+// -------------------------------------------------------- Table 1
+
+void
+runTable1(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    const WorkloadSet &workload = ctx.workload;
+
+    printHeader(os, "Table 1: workloads");
+    TextTable table({"suite", "# traces", "description"});
+    for (const auto &suite : allSuites()) {
+        table.addRow({suite.name,
+                      TextTable::count(suite.numTraces),
+                      suite.description});
+    }
+    table.addSeparator();
+    table.addRow({"total", TextTable::count(totalTraceCount()),
+                  "(paper: 531)"});
+    table.print(os);
+
+    printHeader(os, "Measured per-suite trace characteristics");
+    TextTable m({"suite", "load", "store", "branch", "fp",
+                 "wss (KB)", "carry-in zero-prob"});
+    for (const auto &suite : allSuites()) {
+        const auto indices = workload.indicesForSuite(suite.id);
+        TraceGenerator gen = workload.generator(indices.front());
+        std::uint64_t counts[numUopClasses] = {};
+        std::size_t n = ctx.options.uopsPerTrace / 4;
+        for (std::size_t i = 0; i < n; ++i)
+            ++counts[static_cast<unsigned>(gen.next().cls)];
+        auto frac = [&](UopClass c) {
+            return static_cast<double>(
+                       counts[static_cast<unsigned>(c)]) /
+                static_cast<double>(n);
+        };
+        // Carry-in bias from operand sampling (Section 1.1: the
+        // adder carry-in is "0" more than 90% of the time).
+        TraceGenerator gen2 = workload.generator(indices.front());
+        const auto ops = collectAdderOperands(gen2, 2000);
+        std::size_t zeros = 0;
+        for (const auto &op : ops)
+            if (!op.cin)
+                ++zeros;
+        m.addRow(
+            {suite.name, TextTable::pct(frac(UopClass::Load), 1),
+             TextTable::pct(frac(UopClass::Store), 1),
+             TextTable::pct(frac(UopClass::Branch), 1),
+             TextTable::pct(frac(UopClass::FpAdd) +
+                                frac(UopClass::FpMul),
+                            1),
+             TextTable::num(
+                 static_cast<double>(gen.params().wssBytes) /
+                     1024.0,
+                 0),
+             ops.empty()
+                 ? std::string("-")
+                 : TextTable::pct(static_cast<double>(zeros) /
+                                      ops.size(),
+                                  1)});
+    }
+    m.print(os);
+}
+
+// -------------------------------------------------------- Table 3
+
+void
+runTable3(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    const ExperimentOptions &options = ctx.options;
+
+    printHeader(os,
+                "Table 3: average performance loss per mechanism");
+    const auto rows = runTable3Experiment(ctx.workload, options);
+
+    TextTable table({"configuration", "SetFixed50%", "LineFixed50%",
+                     "LineDynamic60%", "paper (S/L/D)"});
+    const char *paper[] = {
+        "0.75 / 0.53 / 0.45%", "1.30 / 1.14 / 0.69%",
+        "1.60 / 1.60 / 0.96%", "0.83 / 0.67 / 0.45%",
+        "1.29 / 1.50 / 0.78%", "1.73 / 2.31 / 1.02%",
+        "0.32 / 0.34 / 0.14%", "0.55 / 0.47 / 0.32%",
+        "1.31 / 1.18 / 0.97%"};
+    unsigned i = 0;
+    for (const auto &row : rows) {
+        table.addRow({row.label, TextTable::pct(row.loss[0]),
+                      TextTable::pct(row.loss[1]),
+                      TextTable::pct(row.loss[2]),
+                      i < 9 ? paper[i] : ""});
+        ++i;
+    }
+    table.print(os);
+
+    TextTable inv(
+        {"configuration", "avg invert ratio (Set/Line/Dyn)"});
+    for (const auto &row : rows) {
+        inv.addRow({row.label,
+                    TextTable::num(row.invertRatio[0], 2) + " / " +
+                        TextTable::num(row.invertRatio[1], 2) +
+                        " / " +
+                        TextTable::num(row.invertRatio[2], 2)});
+    }
+    os << '\n';
+    inv.print(os);
+
+    // WayFixed ablation (described in Section 3.2.1, unmeasured).
+    printHeader(os, "Ablation: WayFixed50% (paper describes, "
+                    "does not measure)");
+    const auto traces =
+        ctx.workload.strided(std::max(1u, options.traceStride));
+    TextTable wf({"configuration", "WayFixed50% loss"});
+    CacheConfig dl0;
+    const PerfLossStats stats = measurePerfLoss(
+        ctx.workload, traces, options.cacheUops, dl0,
+        CacheConfig::tlb(128, 8), MechanismKind::WayFixed50, true,
+        MemTimingParams(), options.mechanismTimeScale,
+        options.jobs);
+    wf.addRow({"DL0 8-way 32KB", TextTable::pct(stats.meanLoss)});
+    wf.print(os);
+
+    // Combined CPI for Section 4.7.
+    const double cpi = combinedNormalizedCpi(
+        ctx.workload, traces, options.cacheUops, dl0,
+        CacheConfig::tlb(128, 8), MechanismKind::LineFixed50,
+        MemTimingParams(), options.mechanismTimeScale,
+        options.jobs);
+    os << "\nCombined normalised CPI, LineFixed50% on DL0 + "
+          "DTLB: "
+       << TextTable::num(cpi, 3) << " (paper: 1.007)\n";
+}
+
+// -------------------------------------------------------- Table 4
+
+void
+runTable4(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    const WorkloadSet &workload = ctx.workload;
+    const ExperimentOptions &options = ctx.options;
+
+    // Section 4.2 worked examples (closed form, exact).
+    printHeader(os, "Section 4.2: metric worked examples");
+    TextTable ex({"design", "delay", "guardband", "TDP",
+                  "NBTIefficiency", "paper"});
+    ex.addRow({"baseline (pay 20% guardband)", "1.00", "20%",
+               "1.00",
+               TextTable::num(nbtiEfficiency(1.0, 0.20, 1.0)),
+               "1.73"});
+    ex.addRow({"periodic inversion (memory-like)", "1.10", "2%",
+               "1.00",
+               TextTable::num(nbtiEfficiency(1.10, 0.02, 1.0)),
+               "1.41"});
+    ex.print(os);
+
+    // Run all block experiments.
+    os << "\nrunning block experiments...\n";
+    const auto adder = runAdderExperiment(workload, options);
+    const auto int_rf =
+        runRegFileExperiment(workload, false, options);
+    const auto fp_rf =
+        runRegFileExperiment(workload, true, options);
+    const auto sched = runSchedulerExperiment(workload, options);
+    const auto summary = buildProcessorSummary(
+        adder, int_rf, fp_rf, sched, workload, options);
+
+    printHeader(os, "Per-block summary (Sections 4.3-4.6)");
+    TextTable blocks({"block", "cycle time", "guardband", "TDP",
+                      "NBTIefficiency", "paper"});
+    const char *paper_eff[] = {"1.24", "1.12", "1.24", "1.09",
+                               "~1.09"};
+    unsigned i = 0;
+    for (const auto &b : summary.blocks) {
+        blocks.addRow({b.name, TextTable::num(b.cycleTimeFactor, 2),
+                       TextTable::pct(b.guardband, 1),
+                       TextTable::num(b.tdpFactor, 2),
+                       TextTable::num(nbtiEfficiency(b)),
+                       i < 5 ? paper_eff[i] : ""});
+        ++i;
+    }
+    blocks.print(os);
+
+    printHeader(os,
+                "Section 4.7: processor roll-up (equations 2-4)");
+    ProcessorCost cost(summary.combinedCpi);
+    for (const auto &b : summary.blocks)
+        cost.addBlock(b);
+    TextTable proc({"quantity", "measured", "paper"});
+    proc.addRow({"combined CPI (LineFixed50% DL0+DTLB)",
+                 TextTable::num(summary.combinedCpi, 3), "1.007"});
+    proc.addRow({"combined CPI (LineDynamic60% DL0+DTLB)",
+                 TextTable::num(summary.combinedCpiDynamic, 3),
+                 "(best Table-3 mechanism)"});
+    proc.addRow({"processor delay (eq. 2)",
+                 TextTable::num(cost.delay(), 3), "1.007"});
+    proc.addRow({"processor TDP (eq. 3)",
+                 TextTable::num(cost.tdp(), 3), "1.01"});
+    proc.addRow({"processor guardband (eq. 4)",
+                 TextTable::pct(cost.guardband(), 1), "7.4%"});
+    proc.print(os);
+
+    printHeader(os, "Headline: NBTIefficiency");
+    TextTable head({"design", "measured", "paper"});
+    head.addRow({"baseline (full guardbands)",
+                 TextTable::num(summary.baselineEfficiency),
+                 "1.73"});
+    head.addRow({"periodic inversion",
+                 TextTable::num(summary.invertEfficiency), "1.41"});
+    head.addRow({"Penelope (caches: LineFixed50%)",
+                 TextTable::num(summary.penelopeEfficiency),
+                 "1.28"});
+    head.addRow({"Penelope (caches: LineDynamic60%)",
+                 TextTable::num(summary.penelopeEfficiencyDynamic),
+                 "1.28"});
+    head.print(os);
+
+    os << "\nNote: our synthetic trace population stresses "
+          "the caches harder than the\npaper's under "
+          "LineFixed50% (see EXPERIMENTS.md); with the "
+          "paper's own best\nmechanism (LineDynamic60%) the "
+          "ordering Penelope < inverting < baseline\n"
+          "reproduces.\n";
+
+    os << "\nmax guardband across blocks: "
+       << TextTable::pct(summary.maxGuardband, 1)
+       << " (paper: 7.4%, the adder)\n"
+       << "guardband reductions span "
+       << TextTable::pct(0.20 - summary.maxGuardband, 1) << " .. "
+       << TextTable::pct(0.20 - GuardbandModel::paperCalibrated()
+                                    .balancedGuardband(),
+                         1)
+       << " (paper: 12.6% .. 18%)\n";
+}
+
+// --------------------------------------------------- Section 1.1
+
+void
+runSec11(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    const WorkloadSet &workload = ctx.workload;
+    const ExperimentOptions &options = ctx.options;
+
+    printHeader(os, "Section 1.1: data bias motivation");
+
+    // Carry-in bias across suites.
+    RunningStats cin_zero;
+    for (unsigned index : workload.firstPerSuite()) {
+        TraceGenerator gen = workload.generator(index);
+        const auto ops = collectAdderOperands(gen, 2000);
+        std::size_t zeros = 0;
+        for (const auto &op : ops)
+            if (!op.cin)
+                ++zeros;
+        if (!ops.empty())
+            cin_zero.add(static_cast<double>(zeros) / ops.size());
+    }
+
+    // Register-file bias range.
+    const auto int_rf =
+        runRegFileExperiment(workload, false, options);
+    double bias_min = 1.0;
+    double bias_max = 0.0;
+    for (double b : int_rf.baselineBias) {
+        bias_min = std::min(bias_min, b);
+        bias_max = std::max(bias_max, b);
+    }
+
+    // Scheduler worst fields.
+    const auto sched = runSchedulerExperiment(workload, options);
+
+    // Pipeline survey: MRU positions, occupancies, ports.
+    const auto survey = runPipelineSurvey(workload, options);
+
+    TextTable table({"observation", "measured", "paper"});
+    table.addRow({"adder carry-in zero probability",
+                  TextTable::pct(cin_zero.mean(), 1), "> 90%"});
+    table.addRow({"INT register file per-bit zero-prob range",
+                  TextTable::pct(bias_min, 1) + " .. " +
+                      TextTable::pct(bias_max, 1),
+                  "65% .. 90%"});
+    table.addRow({"scheduler worst field bias (baseline)",
+                  TextTable::pct(sched.baselineWorstFig8, 1),
+                  "almost 100%"});
+    table.addRow({"DL0 hits at MRU position",
+                  TextTable::pct(survey.mruHitFraction[0], 1),
+                  "90%"});
+    table.addRow({"DL0 hits at MRU+1",
+                  TextTable::pct(survey.mruHitFraction[1], 1),
+                  "7%"});
+    table.addRow({"DL0 hits elsewhere",
+                  TextTable::pct(survey.mruHitFraction[2], 1),
+                  "3%"});
+    table.print(os);
+
+    printHeader(os, "Pipeline survey (inputs to Sections 4.4-4.5)");
+    TextTable p({"statistic", "measured", "paper"});
+    p.addRow({"CPI (uniform policy)", TextTable::num(survey.cpi, 2),
+              "-"});
+    p.addRow({"scheduler occupancy",
+              TextTable::pct(survey.schedOccupancy, 1), "63%"});
+    p.addRow({"INT registers free",
+              TextTable::pct(survey.intRfFree, 1), "54%"});
+    p.addRow({"FP registers free",
+              TextTable::pct(survey.fpRfFree, 1), "69%"});
+    p.addRow({"INT RF port free at release",
+              TextTable::pct(survey.intRfPortFree, 1), "92%"});
+    p.addRow({"FP RF port free at release",
+              TextTable::pct(survey.fpRfPortFree, 1), "86%"});
+    p.addRow({"allocate port free at sched release",
+              TextTable::pct(survey.schedPortFree, 1), "77%"});
+    p.print(os);
+}
+
+// ------------------------------------------------------ ablations
+
+void
+runAblations(const ExperimentContext &ctx)
+{
+    std::ostream &os = ctx.out;
+    const WorkloadSet &workload = ctx.workload;
+    const ExperimentOptions &options = ctx.options;
+
+    // ------------------------------------------- 1. input policies
+    printHeader(os, "Ablation 1: adder idle-input selection policy");
+    LadnerFischerAdder adder(32);
+    const GuardbandModel model = GuardbandModel::paperCalibrated();
+    AdderAgingAnalysis analysis(adder, model);
+    TraceGenerator gen = workload.generator(0);
+    const auto operands =
+        collectAdderOperands(gen, options.adderOperandSamples);
+    const auto real = analysis.zeroProbsForOperands(operands);
+    const InputPair best = analysis.bestPair();
+
+    TextTable t1({"policy", "guardband @21% utilisation"});
+    t1.addRow({"no idle injection (baseline)",
+               TextTable::pct(analysis.baselineGuardband(real))});
+    {
+        // Single idle input: the same transistors stress all idle
+        // time; mixing happens only against real inputs.
+        PmosAgingTracker tracker(adder.netlist());
+        tracker.applyInput(syntheticVector(adder, best.first));
+        std::vector<double> single(tracker.numDevices());
+        for (std::size_t i = 0; i < single.size(); ++i)
+            single[i] = tracker.zeroProb(i);
+        std::vector<double> mixed(single.size());
+        for (std::size_t i = 0; i < mixed.size(); ++i)
+            mixed[i] = 0.21 * real[i] + 0.79 * single[i];
+        t1.addRow({"single idle input " +
+                       std::to_string(best.first + 1),
+                   TextTable::pct(
+                       analysis.summarize(mixed).guardband)});
+    }
+    t1.addRow({"round-robin pair " + pairLabel(best),
+               TextTable::pct(
+                   analysis.scenarioGuardband(real, 0.21, best))});
+    {
+        // Four-input rotation: 1, 8 and the complements 4, 5.
+        PmosAgingTracker tracker(adder.netlist());
+        for (unsigned k : {0u, 7u, 3u, 4u})
+            tracker.applyInput(syntheticVector(adder, k));
+        std::vector<double> quad(tracker.numDevices());
+        for (std::size_t i = 0; i < quad.size(); ++i)
+            quad[i] = tracker.zeroProb(i);
+        std::vector<double> mixed(quad.size());
+        for (std::size_t i = 0; i < mixed.size(); ++i)
+            mixed[i] = 0.21 * real[i] + 0.79 * quad[i];
+        t1.addRow({"four-input rotation 1/8/4/5",
+                   TextTable::pct(
+                       analysis.summarize(mixed).guardband)});
+    }
+    t1.print(os);
+
+    // --------------------------------------- 2. guardband mapping
+    printHeader(os, "Ablation 2: calibrated map vs RD-model map");
+    TextTable t2({"zero-signal prob", "calibrated linear",
+                  "RD equilibrium x 20%"});
+    for (double p : {0.5, 0.6, 0.75, 0.9, 1.0}) {
+        t2.addRow({TextTable::pct(p, 0),
+                   TextTable::pct(model.guardbandForZeroProb(p)),
+                   TextTable::pct(
+                       0.20 * RdModel::equilibriumFraction(p))});
+    }
+    t2.print(os);
+    os << "The RD equilibrium is linear in duty cycle, the "
+          "same family as the paper's\ncalibration; the "
+          "calibrated map just fixes the 2% floor at "
+          "p=0.5.\n";
+
+    // ------------------------------------ 3. ISV port sensitivity
+    printHeader(os,
+                "Ablation 3: ISV sensitivity to port availability");
+    TextTable t3({"port-free probability", "worst stress with ISV"});
+    for (double port : {1.0, 0.92, 0.5, 0.2}) {
+        RegFileConfig cfg;
+        cfg.numEntries = 128;
+        cfg.width = 32;
+        RegisterFile rf(cfg);
+        rf.enableIsv(true);
+        RegReplayConfig rc;
+        rc.portFreeProb = port;
+        RegFileReplay replay(rf, rc);
+        TraceGenerator g = workload.generator(3);
+        const RegReplayResult r =
+            replay.run(g, options.uopsPerTrace);
+        t3.addRow({TextTable::pct(port, 0),
+                   TextTable::pct(
+                       rf.finalizeBias(r.cycles)
+                           .maxWorstCaseStress(),
+                       1)});
+    }
+    t3.print(os);
+    os << "At the paper's 92% availability the balance is "
+          "indistinguishable from ideal\n(discarding the "
+          "rare blocked update is negligible); only far "
+          "lower availability\nstarts to erode it.\n";
+
+    // ------------------------------------- 4. branch predictor
+    printHeader(os, "Ablation 4: NBTI-aware branch predictor "
+                    "(cache-like, unmeasured in the paper)");
+    TextTable t4({"invert ratio", "accuracy", "worst counter-bit "
+                                              "stress"});
+    for (double ratio : {0.0, 0.25, 0.5}) {
+        BranchPredictorConfig cfg;
+        cfg.tableEntries = 4096;
+        cfg.invertRatio = ratio;
+        cfg.rotatePeriod = 2000;
+        BranchPredictor bp(cfg);
+        TraceGenerator g = workload.generator(5);
+        Cycle now = 0;
+        std::uint64_t pc_seq = 0;
+        for (std::size_t i = 0; i < options.uopsPerTrace; ++i) {
+            const Uop uop = g.next();
+            ++now;
+            bp.tick(now);
+            if (uop.cls != UopClass::Branch)
+                continue;
+            const Addr pc = 0x8000 + (pc_seq++ % 1024) * 4;
+            bp.predictAndTrain(pc, uop.taken, now);
+        }
+        t4.addRow({TextTable::pct(ratio, 0),
+                   TextTable::pct(bp.stats().accuracy(), 1),
+                   TextTable::pct(
+                       bp.finalizeBias(now).maxWorstCaseStress(),
+                       1)});
+    }
+    t4.print(os);
+}
+
+} // namespace
+
+void
+registerBuiltinExperiments()
+{
+    ExperimentRegistry &registry = ExperimentRegistry::instance();
+    if (!registry.experiments().empty())
+        return;
+
+    registry.add({"fig1", "Figure 1",
+                  "NIT saw-tooth under alternating stress/relax "
+                  "(RD model)",
+                  runFig1});
+    registry.add({"fig3", "Figure 3",
+                  "Technique decision surface of the repair "
+                  "casuistic",
+                  runFig3});
+    registry.add({"fig4", "Figure 4",
+                  "Narrow PMOS fully-stressed fraction per "
+                  "synthetic input pair",
+                  runFig4});
+    registry.add({"fig5", "Figure 5",
+                  "Adder guardband vs utilisation with idle-input "
+                  "injection",
+                  runFig5});
+    registry.add({"fig6", "Figure 6",
+                  "Register-file per-bit bias, baseline vs ISV",
+                  runFig6});
+    registry.add({"fig8", "Figure 8",
+                  "Scheduler per-field bias, baseline vs chosen "
+                  "techniques (plus Table 2)",
+                  runFig8});
+    registry.add({"table1", "Table 1",
+                  "Workload inventory and measured trace "
+                  "characteristics",
+                  runTable1});
+    registry.add({"table3", "Table 3",
+                  "Cache/TLB inversion-mechanism performance loss "
+                  "grid",
+                  runTable3});
+    registry.add({"table4", "Table 4",
+                  "NBTIefficiency per block and whole-processor "
+                  "roll-up (Sections 4.2/4.7)",
+                  runTable4});
+    registry.add({"sec11", "Section 1.1",
+                  "Data-bias motivation numbers and pipeline "
+                  "survey",
+                  runSec11});
+    registry.add({"ablations", "DESIGN ablations",
+                  "Idle-input policy, guardband map, ISV port and "
+                  "branch-predictor ablations",
+                  runAblations});
+}
+
+} // namespace penelope

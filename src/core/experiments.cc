@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "adder/adder.hh"
+#include "core/engine.hh"
 
 namespace penelope {
 
@@ -17,6 +18,14 @@ evalTraces(const WorkloadSet &workload,
     return workload.strided(std::max(1u, options.traceStride));
 }
 
+/** Per-trace shard of a register-file replay. */
+struct RegFileShard
+{
+    BitBiasTracker bias{1};
+    double freeFraction = 0.0;
+    IsvStats isv;
+};
+
 } // namespace
 
 // -------------------------------------------------------------- adder
@@ -26,6 +35,7 @@ runAdderExperiment(const WorkloadSet &workload,
                    const ExperimentOptions &options)
 {
     AdderExperimentResult result;
+    const Engine engine(options.jobs);
 
     LadnerFischerAdder adder(32);
     const GuardbandModel model = GuardbandModel::paperCalibrated();
@@ -35,19 +45,22 @@ runAdderExperiment(const WorkloadSet &workload,
     result.pairSweep = analysis.sweepPairs();
     result.bestPair = analysis.bestPair();
 
-    // Real-input aging: operands sampled across suites.
-    std::vector<OperandSample> operands;
+    // Real-input aging: operands sampled across suites, one trace
+    // per suite simulated in parallel, chunks concatenated in suite
+    // order.
     const auto firsts = workload.firstPerSuite();
     const std::size_t per_suite =
         options.adderOperandSamples / std::max<std::size_t>(
             1, firsts.size());
-    for (unsigned index : firsts) {
-        TraceGenerator gen = workload.generator(index);
-        const auto chunk =
-            collectAdderOperands(gen, per_suite);
+    const auto chunks = engine.map<std::vector<OperandSample>>(
+        firsts, [&](unsigned index, std::size_t) {
+            TraceGenerator gen = workload.generator(index);
+            return collectAdderOperands(gen, per_suite);
+        });
+    std::vector<OperandSample> operands;
+    for (const auto &chunk : chunks)
         operands.insert(operands.end(), chunk.begin(),
                         chunk.end());
-    }
     const auto real_probs = analysis.zeroProbsForOperands(operands);
     result.baselineGuardband =
         analysis.baselineGuardband(real_probs);
@@ -60,19 +73,22 @@ runAdderExperiment(const WorkloadSet &workload,
     }
 
     // Adder utilisation from the pipeline, both policies, averaged
-    // over one representative trace per suite.
+    // over one representative trace per suite.  Each trace runs its
+    // own Pipeline; per-trace stats fold in suite order.
     for (const auto policy : {AdderAllocationPolicy::Priority,
                               AdderAllocationPolicy::Uniform}) {
+        const auto shards = engine.map<PipelineStats>(
+            firsts, [&](unsigned index, std::size_t) {
+                PipelineConfig cfg;
+                cfg.adderPolicy = policy;
+                Pipeline pipe(cfg);
+                TraceGenerator gen = workload.generator(index);
+                return pipe.run(gen, options.uopsPerTrace / 4);
+            });
         RunningStats util;
         RunningStats util_min;
         RunningStats util_max;
-        for (unsigned index : workload.firstPerSuite()) {
-            PipelineConfig cfg;
-            cfg.adderPolicy = policy;
-            Pipeline pipe(cfg);
-            TraceGenerator gen = workload.generator(index);
-            const PipelineStats s =
-                pipe.run(gen, options.uopsPerTrace / 4);
+        for (const PipelineStats &s : shards) {
             double lo = 1.0;
             double hi = 0.0;
             for (unsigned a = 0; a < 4; ++a) {
@@ -105,6 +121,7 @@ runRegFileExperiment(const WorkloadSet &workload, bool fp,
 {
     RegFileExperimentResult result;
     const GuardbandModel model = GuardbandModel::paperCalibrated();
+    const Engine engine(options.jobs);
 
     RegFileConfig rf_config;
     rf_config.name = fp ? "FP-RF" : "INT-RF";
@@ -122,19 +139,34 @@ runRegFileExperiment(const WorkloadSet &workload, bool fp,
     const auto traces = evalTraces(workload, options);
 
     for (const bool isv : {false, true}) {
-        RegisterFile rf(rf_config);
-        rf.enableIsv(isv);
-        RegFileReplay replay(rf, replay_config);
-        Cycle clock = 0;
+        // Every trace ages its own register file; the per-bit duty
+        // times merge in trace order into the aggregate bias.
+        const auto shards = engine.map<RegFileShard>(
+            traces, [&](unsigned index, std::size_t) {
+                RegisterFile rf(rf_config);
+                rf.enableIsv(isv);
+                RegReplayConfig cfg = replay_config;
+                cfg.seed = mixSeed(replay_config.seed, index);
+                RegFileReplay replay(rf, cfg);
+                TraceGenerator gen = workload.generator(index);
+                const RegReplayResult r =
+                    replay.run(gen, options.uopsPerTrace);
+                RegFileShard shard;
+                shard.bias = rf.finalizeBias(r.cycles);
+                shard.freeFraction = r.freeFraction;
+                shard.isv = rf.isvStats();
+                return shard;
+            });
+
+        BitBiasTracker bias(rf_config.width);
         RunningStats free_frac;
-        for (unsigned index : traces) {
-            TraceGenerator gen = workload.generator(index);
-            const RegReplayResult r =
-                replay.run(gen, options.uopsPerTrace);
-            clock = r.cycles;
-            free_frac.add(r.freeFraction);
+        IsvStats isv_stats;
+        for (const RegFileShard &shard : shards) {
+            bias.merge(shard.bias);
+            free_frac.add(shard.freeFraction);
+            isv_stats.merge(shard.isv);
         }
-        const BitBiasTracker &bias = rf.finalizeBias(clock);
+
         const auto vec = bias.biasVector();
         const double worst = bias.maxWorstCaseStress();
         if (isv) {
@@ -142,7 +174,7 @@ runRegFileExperiment(const WorkloadSet &workload, bool fp,
             result.isvWorst = worst;
             result.guardbandIsv =
                 model.guardbandForZeroProb(worst);
-            result.isvStats = rf.isvStats();
+            result.isvStats = isv_stats;
         } else {
             result.baselineBias = vec;
             result.baselineWorst = worst;
@@ -162,6 +194,7 @@ runSchedulerExperiment(const WorkloadSet &workload,
 {
     SchedulerExperimentResult result;
     const GuardbandModel model = GuardbandModel::paperCalibrated();
+    const Engine engine(options.jobs);
 
     // Paper methodology: profile K on 100 random traces...
     const auto profiling_set = workload.sampleIndices(
@@ -185,30 +218,41 @@ runSchedulerExperiment(const WorkloadSet &workload,
         profile_subset.push_back(profiling_set[i]);
     }
     const SchedulerProfile profile = profileScheduler(
-        workload, profile_subset, options.uopsPerTrace / 2);
+        workload, profile_subset, options.uopsPerTrace / 2,
+        SchedulerConfig(), SchedReplayConfig(), options.jobs);
     const auto decisions = decideProtection(profile.bits);
     result.techniques = summarizeDecisions(decisions);
 
     for (const bool protect : {false, true}) {
-        Scheduler sched{SchedulerConfig{}};
-        if (protect) {
-            sched.configureProtection(decisions);
-            sched.enableProtection(true);
-        }
-        SchedulerReplay replay(sched, SchedReplayConfig{});
-        Cycle clock = 0;
-        for (unsigned index : eval_set) {
-            TraceGenerator gen = workload.generator(index);
-            const SchedReplayResult r =
-                replay.run(gen, options.uopsPerTrace);
-            clock = r.cycles;
-        }
-        const auto bias = sched.biasVector(clock);
-        const double worst = sched.worstFigure8Bias(clock);
+        const SchedReplayConfig replay_config;
+        const auto shards = engine.map<SchedulerStress>(
+            eval_set, [&](unsigned index, std::size_t) {
+                Scheduler sched{SchedulerConfig{}};
+                if (protect) {
+                    sched.configureProtection(decisions);
+                    sched.enableProtection(true);
+                }
+                SchedReplayConfig cfg = replay_config;
+                cfg.seed = mixSeed(replay_config.seed, index);
+                SchedulerReplay replay(sched, cfg);
+                TraceGenerator gen = workload.generator(index);
+                const SchedReplayResult r =
+                    replay.run(gen, options.uopsPerTrace);
+                return sched.snapshotStress(r.cycles);
+            });
+
+        if (shards.empty())
+            continue;
+        SchedulerStress merged = shards.front();
+        for (std::size_t k = 1; k < shards.size(); ++k)
+            merged.merge(shards[k]);
+
+        const auto bias = merged.biasVector();
+        const double worst = merged.worstFigure8Bias();
         if (protect) {
             result.protectedBias = bias;
             result.protectedWorstFig8 = worst;
-            result.occupancy = sched.occupancy(clock);
+            result.occupancy = merged.occupancy();
         } else {
             result.baselineBias = bias;
             result.baselineWorstFig8 = worst;
@@ -277,7 +321,7 @@ runTable3Experiment(const WorkloadSet &workload,
             const PerfLossStats stats = measurePerfLoss(
                 workload, traces, options.cacheUops, dl0, dtlb,
                 mechanisms[m], !row.isTlb, params,
-                options.mechanismTimeScale);
+                options.mechanismTimeScale, options.jobs);
             row.loss[m] = stats.meanLoss;
             row.invertRatio[m] = stats.meanInvertRatio;
         }
@@ -305,11 +349,13 @@ buildProcessorSummary(const AdderExperimentResult &adder,
     summary.combinedCpi = combinedNormalizedCpi(
         workload, traces, options.cacheUops, CacheConfig(),
         CacheConfig::tlb(128, 8), MechanismKind::LineFixed50,
-        MemTimingParams(), options.mechanismTimeScale);
+        MemTimingParams(), options.mechanismTimeScale,
+        options.jobs);
     summary.combinedCpiDynamic = combinedNormalizedCpi(
         workload, traces, options.cacheUops, CacheConfig(),
         CacheConfig::tlb(128, 8), MechanismKind::LineDynamic60,
-        MemTimingParams(), options.mechanismTimeScale);
+        MemTimingParams(), options.mechanismTimeScale,
+        options.jobs);
 
     // Per-block costs.  TDP factors are the paper's stated
     // overheads: RINV+timestamps <1% (RF), RINV+counters <2%
@@ -359,6 +405,15 @@ runPipelineSurvey(const WorkloadSet &workload,
     PipelineSurvey survey;
     PipelineConfig cfg;
     cfg.adderPolicy = policy;
+    const Engine engine(options.jobs);
+
+    const auto shards = engine.map<PipelineStats>(
+        workload.firstPerSuite(), [&](unsigned index,
+                                      std::size_t) {
+            Pipeline pipe(cfg);
+            TraceGenerator gen = workload.generator(index);
+            return pipe.run(gen, options.uopsPerTrace / 2);
+        });
 
     RunningStats cpi;
     RunningStats sched_occ;
@@ -370,11 +425,7 @@ runPipelineSurvey(const WorkloadSet &workload,
     RunningStats adder[4];
     RunningStats mru[3];
 
-    for (unsigned index : workload.firstPerSuite()) {
-        Pipeline pipe(cfg);
-        TraceGenerator gen = workload.generator(index);
-        const PipelineStats s =
-            pipe.run(gen, options.uopsPerTrace / 2);
+    for (const PipelineStats &s : shards) {
         cpi.add(s.cpi);
         sched_occ.add(s.schedOccupancy);
         int_free.add(1.0 - s.intRfOccupancy);

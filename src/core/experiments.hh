@@ -34,6 +34,14 @@ struct ExperimentOptions
     /** Use every n-th trace of the 531 (1 = full workload). */
     unsigned traceStride = 8;
 
+    /**
+     * Worker threads for per-trace simulation.  Every runner fans
+     * traces across the pool and merges per-trace results in trace
+     * order, so any value produces statistics bit-identical to
+     * jobs = 1.
+     */
+    unsigned jobs = 1;
+
     /** Uops per trace for structure/bias experiments. */
     std::size_t uopsPerTrace = 40'000;
 

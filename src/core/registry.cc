@@ -1,0 +1,32 @@
+#include "registry.hh"
+
+#include <stdexcept>
+
+namespace penelope {
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(Experiment experiment)
+{
+    if (find(experiment.name))
+        throw std::logic_error("duplicate experiment: " +
+                               experiment.name);
+    experiments_.push_back(std::move(experiment));
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &name) const
+{
+    for (const Experiment &e : experiments_)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+} // namespace penelope

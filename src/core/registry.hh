@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Registry of the paper's figure/table experiments.
+ *
+ * Each experiment registers a stable name, a one-line description
+ * and a runner; the `penelope_bench` multiplexer, the examples and
+ * the integration tests all dispatch through here instead of
+ * growing a new binary per experiment.  Adding an experiment is a
+ * ~20-line registration in catalog.cc.
+ */
+
+#ifndef PENELOPE_CORE_REGISTRY_HH
+#define PENELOPE_CORE_REGISTRY_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+
+namespace penelope {
+
+/** Everything a registered runner gets to work with. */
+struct ExperimentContext
+{
+    const WorkloadSet &workload;
+    ExperimentOptions options;
+    std::ostream &out;
+};
+
+/** One registered experiment. */
+struct Experiment
+{
+    std::string name;        ///< CLI name, e.g. "fig5"
+    std::string title;       ///< paper artifact, e.g. "Figure 5"
+    std::string description; ///< one line for --list
+    std::function<void(const ExperimentContext &)> run;
+};
+
+/** Name-keyed experiment catalog (registration order preserved). */
+class ExperimentRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static ExperimentRegistry &instance();
+
+    /** Register an experiment; the name must be unique. */
+    void add(Experiment experiment);
+
+    /** Look up by name; nullptr when unknown. */
+    const Experiment *find(const std::string &name) const;
+
+    /** All experiments in registration order. */
+    const std::vector<Experiment> &experiments() const
+    {
+        return experiments_;
+    }
+
+  private:
+    std::vector<Experiment> experiments_;
+};
+
+/**
+ * Register the built-in figure/table experiments (idempotent).
+ * Explicit rather than static-initializer registration so the
+ * catalog survives static-library linking and the caller controls
+ * when registration happens.
+ */
+void registerBuiltinExperiments();
+
+} // namespace penelope
+
+#endif // PENELOPE_CORE_REGISTRY_HH

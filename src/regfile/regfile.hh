@@ -48,6 +48,15 @@ struct IsvStats
     std::uint64_t updatesApplied = 0;   ///< RINV writes at release
     std::uint64_t updatesDiscarded = 0; ///< no free port available
     std::uint64_t updatesSkipped = 0;   ///< balance meter said skip
+
+    /** Combine counters from another (per-trace) run. */
+    void
+    merge(const IsvStats &other)
+    {
+        updatesApplied += other.updatesApplied;
+        updatesDiscarded += other.updatesDiscarded;
+        updatesSkipped += other.updatesSkipped;
+    }
 };
 
 /**

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <map>
 
+#include "common/threadpool.hh"
+
 namespace penelope {
 
 SchedulerProfile
@@ -12,20 +14,30 @@ profileScheduler(const WorkloadSet &workload,
                  const std::vector<unsigned> &trace_indices,
                  std::size_t uops_per_trace,
                  const SchedulerConfig &sched_config,
-                 const SchedReplayConfig &replay_config)
+                 const SchedReplayConfig &replay_config,
+                 unsigned jobs)
 {
-    Scheduler sched(sched_config);
-    sched.enableProtection(false);
-    SchedulerReplay replay(sched, replay_config);
-    Cycle end = 0;
-    for (unsigned index : trace_indices) {
+    std::vector<SchedulerStress> shards(trace_indices.size());
+    parallelFor(trace_indices.size(), jobs, [&](std::size_t k) {
+        const unsigned index = trace_indices[k];
+        Scheduler sched(sched_config);
+        sched.enableProtection(false);
+        SchedReplayConfig cfg = replay_config;
+        cfg.seed = mixSeed(replay_config.seed, index);
+        SchedulerReplay replay(sched, cfg);
         TraceGenerator gen = workload.generator(index);
         const SchedReplayResult r = replay.run(gen, uops_per_trace);
-        end = r.cycles;
-    }
+        shards[k] = sched.snapshotStress(r.cycles);
+    });
+
     SchedulerProfile profile;
-    profile.bits = sched.bitProfiles(end);
-    profile.slotOccupancy = sched.occupancy(end);
+    if (shards.empty())
+        return profile;
+    SchedulerStress merged = shards.front();
+    for (std::size_t k = 1; k < shards.size(); ++k)
+        merged.merge(shards[k]);
+    profile.bits = merged.bitProfiles();
+    profile.slotOccupancy = merged.occupancy();
     return profile;
 }
 

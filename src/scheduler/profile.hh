@@ -31,6 +31,11 @@ struct SchedulerProfile
 /**
  * Run @p trace_indices through an unprotected scheduler and collect
  * per-bit occupancy/bias profiles.
+ *
+ * Each trace drives its own Scheduler instance (seeded from the
+ * replay seed and the trace index) on one of @p jobs workers; the
+ * per-trace SchedulerStress snapshots are merged in trace order, so
+ * the profile is bit-identical for any jobs value.
  */
 SchedulerProfile
 profileScheduler(const WorkloadSet &workload,
@@ -39,7 +44,8 @@ profileScheduler(const WorkloadSet &workload,
                  const SchedulerConfig &sched_config =
                      SchedulerConfig(),
                  const SchedReplayConfig &replay_config =
-                     SchedReplayConfig());
+                     SchedReplayConfig(),
+                 unsigned jobs = 1);
 
 /**
  * Derive per-bit protection decisions from a profile.

@@ -275,33 +275,86 @@ Scheduler::fieldOccupancy(FieldId f, Cycle now) const
 std::vector<double>
 Scheduler::biasVector(Cycle now)
 {
+    return snapshotStress(now).biasVector();
+}
+
+std::vector<BitProfile>
+Scheduler::bitProfiles(Cycle now)
+{
+    return snapshotStress(now).bitProfiles();
+}
+
+double
+Scheduler::worstFigure8Bias(Cycle now)
+{
+    return snapshotStress(now).worstFigure8Bias();
+}
+
+SchedulerStress
+Scheduler::snapshotStress(Cycle now)
+{
     flushAll(now);
+    SchedulerStress s;
+    s.numEntries = config_.numEntries;
+    s.cycles = now;
+    s.busyIntegral = busyIntegral_;
+    s.totalBias = totalBias_;
+    s.busyBias = busyBias_;
+    s.fieldUseTime = fieldUseTime_;
+    return s;
+}
+
+void
+SchedulerStress::merge(const SchedulerStress &other)
+{
+    assert(numEntries == other.numEntries);
+    assert(totalBias.size() == other.totalBias.size());
+    cycles += other.cycles;
+    busyIntegral += other.busyIntegral;
+    for (std::size_t f = 0; f < totalBias.size(); ++f) {
+        totalBias[f].merge(other.totalBias[f]);
+        busyBias[f].merge(other.busyBias[f]);
+        fieldUseTime[f] += other.fieldUseTime[f];
+    }
+}
+
+double
+SchedulerStress::occupancy() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return busyIntegral / (static_cast<double>(numEntries) *
+                           static_cast<double>(cycles));
+}
+
+std::vector<double>
+SchedulerStress::biasVector() const
+{
     std::vector<double> out;
     out.reserve(fieldLayout().totalBits());
-    for (unsigned f = 0; f < fieldLayout().count(); ++f) {
-        const auto v = totalBias_[f].biasVector();
+    for (const BitBiasTracker &field : totalBias) {
+        const auto v = field.biasVector();
         out.insert(out.end(), v.begin(), v.end());
     }
     return out;
 }
 
 std::vector<BitProfile>
-Scheduler::bitProfiles(Cycle now)
+SchedulerStress::bitProfiles() const
 {
-    flushAll(now);
     const FieldLayout &layout = fieldLayout();
     std::vector<BitProfile> out;
     out.reserve(layout.totalBits());
-    const double denom = static_cast<double>(config_.numEntries) *
-        static_cast<double>(now);
+    const double denom = static_cast<double>(numEntries) *
+        static_cast<double>(cycles);
     for (unsigned f = 0; f < layout.count(); ++f) {
         const FieldSpec &spec = layout.spec(f);
         const double occ = denom > 0.0
-            ? static_cast<double>(fieldUseTime_[f]) / denom : 0.0;
+            ? static_cast<double>(fieldUseTime[f]) / denom : 0.0;
         for (unsigned b = 0; b < spec.width; ++b) {
             BitProfile p;
             p.occupancy = occ;
-            p.bias0Busy = busyBias_[f].zeroProbability(b);
+            p.bias0Busy = busyBias[f].zeroProbability(b);
             out.push_back(p);
         }
     }
@@ -309,9 +362,9 @@ Scheduler::bitProfiles(Cycle now)
 }
 
 double
-Scheduler::worstFigure8Bias(Cycle now)
+SchedulerStress::worstFigure8Bias() const
 {
-    const auto bias = biasVector(now);
+    const auto bias = biasVector();
     const FieldLayout &layout = fieldLayout();
     double worst = 0.5;
     for (unsigned f = 0; f < layout.count(); ++f) {

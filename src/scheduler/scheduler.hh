@@ -44,6 +44,39 @@ struct BitProfile
 };
 
 /**
+ * Flushed, mergeable stress/occupancy accounting of a Scheduler.
+ *
+ * The parallel experiment engine runs every trace against its own
+ * Scheduler, snapshots this struct, and merges the snapshots in
+ * trace order; the duty-time sums make the aggregate independent of
+ * how traces were distributed over workers.
+ */
+struct SchedulerStress
+{
+    unsigned numEntries = 0;
+    Cycle cycles = 0; ///< simulated time covered by the snapshot
+    double busyIntegral = 0.0;
+    std::vector<BitBiasTracker> totalBias; ///< per field
+    std::vector<BitBiasTracker> busyBias;  ///< per field, in-use only
+    std::vector<std::uint64_t> fieldUseTime;
+
+    /** Combine another snapshot (same geometry) into this one. */
+    void merge(const SchedulerStress &other);
+
+    /** Time-weighted slot occupancy over the covered time. */
+    double occupancy() const;
+
+    /** Concatenated per-bit bias towards "0" in layout order. */
+    std::vector<double> biasVector() const;
+
+    /** Per-bit profiles for the casuistic (layout order). */
+    std::vector<BitProfile> bitProfiles() const;
+
+    /** Worst |bias - 0.5| + 0.5 over the Figure-8 bits. */
+    double worstFigure8Bias() const;
+};
+
+/**
  * The scheduler structure: slot lifecycle, per-bit stress
  * accounting, and the RINV-based repair machinery.
  */
@@ -91,6 +124,9 @@ class Scheduler
 
     /** Worst |bias - 0.5| + 0.5 over the Figure-8 bits. */
     double worstFigure8Bias(Cycle now);
+
+    /** Flush accounting to @p now and snapshot it for merging. */
+    SchedulerStress snapshotStress(Cycle now);
 
     const SchedulerConfig &config() const { return config_; }
 

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: the thread pool, the
+ * parallelFor primitive, mergeable statistics, the experiment
+ * registry, and — the load-bearing property — that every experiment
+ * produces bit-identical statistics for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cache/timing.hh"
+#include "common/stats.hh"
+#include "common/threadpool.hh"
+#include "core/engine.hh"
+#include "core/registry.hh"
+#include "scheduler/profile.hh"
+#include "trace/workload.hh"
+
+namespace penelope {
+namespace {
+
+// ------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+    pool.submit([&counter] { ++counter; });
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    pool.submit([&counter] { ++counter; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(counter.load(), 1);
+    // The pool stays usable after a failed task.
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, AtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+// ----------------------------------------------------- parallelFor
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        std::vector<std::atomic<int>> hits(1000);
+        parallelFor(hits.size(), jobs,
+                    [&](std::size_t i) { ++hits[i]; });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, MoreJobsThanItems)
+{
+    std::atomic<int> sum{0};
+    parallelFor(3, 16, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop)
+{
+    bool ran = false;
+    parallelFor(0, 8, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesExceptions)
+{
+    EXPECT_THROW(
+        parallelFor(100, 4,
+                    [](std::size_t i) {
+                        if (i == 42)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, SerialPathRunsInOrder)
+{
+    std::vector<std::size_t> order;
+    parallelFor(5, 1, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// ---------------------------------------------------------- Engine
+
+TEST(Engine, MapPreservesItemOrder)
+{
+    const Engine engine(4);
+    std::vector<unsigned> items(64);
+    std::iota(items.begin(), items.end(), 0u);
+    const auto squares = engine.map<unsigned>(
+        items, [](unsigned item, std::size_t) {
+            return item * item;
+        });
+    ASSERT_EQ(squares.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(squares[i], items[i] * items[i]);
+}
+
+// ---------------------------------------------------------- merges
+
+TEST(StatsMerge, MatchesSequentialAccumulation)
+{
+    Rng rng(7);
+    std::vector<double> samples(500);
+    for (double &s : samples)
+        s = rng.nextGaussian();
+
+    RunningStats whole;
+    for (double s : samples)
+        whole.add(s);
+
+    RunningStats left;
+    RunningStats right;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        (i < 200 ? left : right).add(samples[i]);
+    left.merge(right);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_EQ(left.min(), whole.min());
+    EXPECT_EQ(left.max(), whole.max());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+}
+
+TEST(StatsMerge, MergeIntoEmptyCopies)
+{
+    RunningStats a;
+    RunningStats b;
+    b.add(2.0);
+    b.add(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(SchedulerStressMerge, AggregatesTimeWeighted)
+{
+    const WorkloadSet workload;
+    const std::vector<unsigned> traces = {0, 100};
+
+    // Two per-trace snapshots merged...
+    std::vector<SchedulerStress> shards;
+    for (unsigned index : traces) {
+        Scheduler sched{SchedulerConfig{}};
+        SchedReplayConfig cfg;
+        cfg.seed = mixSeed(cfg.seed, index);
+        SchedulerReplay replay(sched, cfg);
+        TraceGenerator gen = workload.generator(index);
+        const SchedReplayResult r = replay.run(gen, 2'000);
+        shards.push_back(sched.snapshotStress(r.cycles));
+    }
+    SchedulerStress merged = shards.front();
+    merged.merge(shards.back());
+
+    EXPECT_EQ(merged.cycles,
+              shards.front().cycles + shards.back().cycles);
+    // ...bracket the aggregate between the per-trace extremes.
+    const double lo = std::min(shards.front().occupancy(),
+                               shards.back().occupancy());
+    const double hi = std::max(shards.front().occupancy(),
+                               shards.back().occupancy());
+    EXPECT_GE(merged.occupancy(), lo - 1e-12);
+    EXPECT_LE(merged.occupancy(), hi + 1e-12);
+    EXPECT_EQ(merged.biasVector().size(),
+              fieldLayout().totalBits());
+}
+
+// ------------------------------------------------ jobs determinism
+
+ExperimentOptions
+tinyOptions(unsigned jobs)
+{
+    ExperimentOptions options;
+    options.traceStride = 97; // ~6 of the 531 traces
+    options.uopsPerTrace = 2'000;
+    options.cacheUops = 2'000;
+    options.adderOperandSamples = 200;
+    options.profilingTraces = 20;
+    options.jobs = jobs;
+    return options;
+}
+
+TEST(JobsDeterminism, RegFileExperiment)
+{
+    const WorkloadSet workload;
+    const auto serial =
+        runRegFileExperiment(workload, false, tinyOptions(1));
+    const auto parallel =
+        runRegFileExperiment(workload, false, tinyOptions(8));
+
+    EXPECT_EQ(serial.baselineBias, parallel.baselineBias);
+    EXPECT_EQ(serial.isvBias, parallel.isvBias);
+    EXPECT_EQ(serial.baselineWorst, parallel.baselineWorst);
+    EXPECT_EQ(serial.isvWorst, parallel.isvWorst);
+    EXPECT_EQ(serial.freeFraction, parallel.freeFraction);
+    EXPECT_EQ(serial.isvStats.updatesApplied,
+              parallel.isvStats.updatesApplied);
+    EXPECT_EQ(serial.isvStats.updatesDiscarded,
+              parallel.isvStats.updatesDiscarded);
+    EXPECT_EQ(serial.isvStats.updatesSkipped,
+              parallel.isvStats.updatesSkipped);
+}
+
+TEST(JobsDeterminism, SchedulerExperiment)
+{
+    const WorkloadSet workload;
+    const auto serial =
+        runSchedulerExperiment(workload, tinyOptions(1));
+    const auto parallel =
+        runSchedulerExperiment(workload, tinyOptions(8));
+
+    EXPECT_EQ(serial.baselineBias, parallel.baselineBias);
+    EXPECT_EQ(serial.protectedBias, parallel.protectedBias);
+    EXPECT_EQ(serial.baselineWorstFig8,
+              parallel.baselineWorstFig8);
+    EXPECT_EQ(serial.protectedWorstFig8,
+              parallel.protectedWorstFig8);
+    EXPECT_EQ(serial.occupancy, parallel.occupancy);
+    EXPECT_EQ(serial.guardband, parallel.guardband);
+}
+
+TEST(JobsDeterminism, PerfLossAndCombinedCpi)
+{
+    const WorkloadSet workload;
+    const std::vector<unsigned> traces = workload.strided(97);
+    for (unsigned jobs : {2u, 8u}) {
+        const PerfLossStats serial = measurePerfLoss(
+            workload, traces, 2'000, CacheConfig(),
+            CacheConfig::tlb(128, 8), MechanismKind::LineFixed50,
+            true, MemTimingParams(), 0.05, 1);
+        const PerfLossStats parallel = measurePerfLoss(
+            workload, traces, 2'000, CacheConfig(),
+            CacheConfig::tlb(128, 8), MechanismKind::LineFixed50,
+            true, MemTimingParams(), 0.05, jobs);
+        EXPECT_EQ(serial.meanLoss, parallel.meanLoss);
+        EXPECT_EQ(serial.maxLoss, parallel.maxLoss);
+        EXPECT_EQ(serial.meanInvertRatio,
+                  parallel.meanInvertRatio);
+
+        EXPECT_EQ(
+            combinedNormalizedCpi(
+                workload, traces, 2'000, CacheConfig(),
+                CacheConfig::tlb(128, 8),
+                MechanismKind::LineDynamic60, MemTimingParams(),
+                0.05, 1),
+            combinedNormalizedCpi(
+                workload, traces, 2'000, CacheConfig(),
+                CacheConfig::tlb(128, 8),
+                MechanismKind::LineDynamic60, MemTimingParams(),
+                0.05, jobs));
+    }
+}
+
+TEST(JobsDeterminism, SchedulerProfile)
+{
+    const WorkloadSet workload;
+    const std::vector<unsigned> traces = {0, 50, 200, 400};
+    const auto serial = profileScheduler(
+        workload, traces, 1'000, SchedulerConfig(),
+        SchedReplayConfig(), 1);
+    const auto parallel = profileScheduler(
+        workload, traces, 1'000, SchedulerConfig(),
+        SchedReplayConfig(), 4);
+    ASSERT_EQ(serial.bits.size(), parallel.bits.size());
+    for (std::size_t b = 0; b < serial.bits.size(); ++b) {
+        EXPECT_EQ(serial.bits[b].occupancy,
+                  parallel.bits[b].occupancy);
+        EXPECT_EQ(serial.bits[b].bias0Busy,
+                  parallel.bits[b].bias0Busy);
+    }
+    EXPECT_EQ(serial.slotOccupancy, parallel.slotOccupancy);
+}
+
+TEST(JobsDeterminism, PipelineSurvey)
+{
+    const WorkloadSet workload;
+    const auto serial =
+        runPipelineSurvey(workload, tinyOptions(1));
+    const auto parallel =
+        runPipelineSurvey(workload, tinyOptions(4));
+    EXPECT_EQ(serial.cpi, parallel.cpi);
+    EXPECT_EQ(serial.schedOccupancy, parallel.schedOccupancy);
+    for (unsigned a = 0; a < 4; ++a)
+        EXPECT_EQ(serial.adderUtil[a], parallel.adderUtil[a]);
+    for (unsigned m = 0; m < 3; ++m)
+        EXPECT_EQ(serial.mruHitFraction[m],
+                  parallel.mruHitFraction[m]);
+}
+
+// -------------------------------------------------------- registry
+
+TEST(Registry, BuiltinCatalogRegistersOnce)
+{
+    registerBuiltinExperiments();
+    registerBuiltinExperiments(); // idempotent
+    const auto &experiments =
+        ExperimentRegistry::instance().experiments();
+    EXPECT_EQ(experiments.size(), 11u);
+    EXPECT_NE(ExperimentRegistry::instance().find("fig5"),
+              nullptr);
+    EXPECT_NE(ExperimentRegistry::instance().find("table4"),
+              nullptr);
+    EXPECT_EQ(ExperimentRegistry::instance().find("nope"),
+              nullptr);
+}
+
+TEST(Registry, DuplicateNameThrows)
+{
+    registerBuiltinExperiments();
+    EXPECT_THROW(ExperimentRegistry::instance().add(
+                     {"fig5", "", "", nullptr}),
+                 std::logic_error);
+}
+
+TEST(Registry, RunsAnExperimentThroughTheContext)
+{
+    registerBuiltinExperiments();
+    const Experiment *fig3 =
+        ExperimentRegistry::instance().find("fig3");
+    ASSERT_NE(fig3, nullptr);
+    const WorkloadSet workload;
+    std::ostringstream out;
+    fig3->run({workload, tinyOptions(2), out});
+    EXPECT_NE(out.str().find("technique decision surface"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("ALL1"), std::string::npos);
+}
+
+} // namespace
+} // namespace penelope

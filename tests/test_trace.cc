@@ -255,8 +255,9 @@ TEST(Generator, MemoryOpsHaveAddressesAndMobIds)
         if (!isMemory(uop.cls))
             continue;
         EXPECT_NE(uop.addr, 0u);
-        if (last_mob != 0xff)
+        if (last_mob != 0xff) {
             EXPECT_EQ(uop.mobId, (last_mob + 1) & 0x3f);
+        }
         last_mob = uop.mobId;
     }
 }
@@ -408,9 +409,10 @@ TEST_P(SuiteTraceTest, GeneratesConsistentUops)
             else
                 EXPECT_LT(uop.dstReg, numArchIntRegs);
         }
-        if (uop.hasImm)
+        if (uop.hasImm) {
             EXPECT_TRUE(uop.cls == UopClass::IntAlu ||
                         uop.cls == UopClass::IntMul);
+        }
         EXPECT_LT(uop.mobId, 64);
         EXPECT_LT(uop.tos, 8);
         EXPECT_LT(uop.opcode, 1u << 12);
