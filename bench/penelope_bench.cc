@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -198,6 +199,16 @@ main(int argc, char **argv)
         std::cerr << '\n';
         listExperiments(std::cerr);
         return 2;
+    }
+
+    // One persistent worker pool for the whole run: every parallel
+    // region of every experiment reuses it instead of spinning its
+    // own (measurable for --all, which strings many small regions
+    // together).  jobs <= 1 stays a true serial run with no pool.
+    std::optional<ThreadPool> pool;
+    if (options.jobs > 1) {
+        pool.emplace(options.jobs);
+        options.pool = &*pool;
     }
 
     const WorkloadSet workload;

@@ -88,6 +88,41 @@ BM_CacheAccessLineFixed(benchmark::State &state)
 }
 BENCHMARK(BM_CacheAccessLineFixed);
 
+/** The duty-accounting kernel itself: observe values of mixed
+ *  density at mixed dt, the pattern the replay drivers produce.
+ *  Arg = tracker width (32 = INT RF / scheduler fields, 64 = cache
+ *  data images, 80 = FP RF). */
+void
+BM_BitBiasObserve(benchmark::State &state)
+{
+    const unsigned width = static_cast<unsigned>(state.range(0));
+    Rng rng(4);
+    std::vector<BitWord> values;
+    std::vector<std::uint64_t> dts;
+    for (int i = 0; i < 4096; ++i) {
+        std::uint64_t lo = rng();
+        std::uint64_t hi = rng();
+        const int kind = static_cast<int>(rng.nextInt(4));
+        if (kind == 0) {
+            lo = hi = 0;
+        } else if (kind == 1) {
+            lo &= rng() & rng();
+            hi &= rng() & rng();
+        }
+        values.emplace_back(width, lo, hi);
+        dts.push_back(1 + rng.nextInt(256));
+    }
+    BitBiasTracker tracker(width);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        tracker.observe(values[i & 4095], dts[i & 4095]);
+        ++i;
+    }
+    benchmark::DoNotOptimize(tracker.maxZeroProbability());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitBiasObserve)->Arg(32)->Arg(64)->Arg(80);
+
 void
 BM_RdModelObserve(benchmark::State &state)
 {
@@ -202,6 +237,26 @@ BM_ParallelForOverhead(benchmark::State &state)
 }
 BENCHMARK(BM_ParallelForOverhead)
     ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
+
+void
+BM_ParallelForPersistentPool(benchmark::State &state)
+{
+    // Same empty-body region dispatched onto a resident pool (the
+    // penelope_bench configuration): the per-region cost drops
+    // from thread spin-up to queue round-trips.
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    ThreadPool pool(jobs);
+    for (auto _ : state) {
+        parallelFor(
+            64, jobs,
+            [](std::size_t i) { benchmark::DoNotOptimize(i); },
+            &pool);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ParallelForPersistentPool)
     ->Arg(4)
     ->UseRealTime();
 

@@ -32,10 +32,11 @@ simulateTraceLosses(const WorkloadSet &workload,
                     MechanismKind dtlb_mechanism,
                     bool ratio_from_dl0,
                     const MemTimingParams &params,
-                    double time_scale, unsigned jobs)
+                    double time_scale, unsigned jobs,
+                    ThreadPool *pool)
 {
     std::vector<TraceLoss> results(trace_indices.size());
-    parallelFor(trace_indices.size(), jobs, [&](std::size_t k) {
+    const auto body = [&](std::size_t k) {
         const unsigned index = trace_indices[k];
         TraceGenerator base_gen = workload.generator(index);
         MemTimingSim base(dl0_config, dtlb_config, params,
@@ -54,7 +55,8 @@ simulateTraceLosses(const WorkloadSet &workload,
         r.invertRatio = ratio_from_dl0 ? rm.dl0AvgInvertRatio
                                        : rm.dtlbAvgInvertRatio;
         r.normalizedCycles = rm.cycles / rb.cycles;
-    });
+    };
+    parallelFor(trace_indices.size(), jobs, body, pool);
     return results;
 }
 
@@ -172,7 +174,7 @@ measurePerfLoss(const WorkloadSet &workload,
                 const CacheConfig &dtlb_config,
                 MechanismKind mechanism, bool apply_to_dl0,
                 const MemTimingParams &params, double time_scale,
-                unsigned jobs)
+                unsigned jobs, ThreadPool *pool)
 {
     PerfLossStats stats;
     RunningStats loss;
@@ -184,7 +186,7 @@ measurePerfLoss(const WorkloadSet &workload,
         dtlb_config,
         apply_to_dl0 ? mechanism : MechanismKind::None,
         apply_to_dl0 ? MechanismKind::None : mechanism,
-        apply_to_dl0, params, time_scale, jobs);
+        apply_to_dl0, params, time_scale, jobs, pool);
     for (const TraceLoss &r : results) {
         loss.add(r.loss);
         ratio.add(r.invertRatio);
@@ -214,13 +216,14 @@ combinedNormalizedCpi(const WorkloadSet &workload,
                       const CacheConfig &dtlb_config,
                       MechanismKind mechanism,
                       const MemTimingParams &params,
-                      double time_scale, unsigned jobs)
+                      double time_scale, unsigned jobs,
+                      ThreadPool *pool)
 {
     RunningStats norm;
     const auto results = simulateTraceLosses(
         workload, trace_indices, uops_per_trace, dl0_config,
         dtlb_config, mechanism, mechanism, true, params,
-        time_scale, jobs);
+        time_scale, jobs, pool);
     for (const TraceLoss &r : results)
         norm.add(r.normalizedCycles);
     return norm.mean();

@@ -25,6 +25,8 @@
 
 namespace penelope {
 
+class ThreadPool;
+
 /** Additive timing-model parameters. */
 struct MemTimingParams
 {
@@ -129,7 +131,8 @@ measurePerfLoss(const WorkloadSet &workload,
                 const CacheConfig &dtlb_config,
                 MechanismKind mechanism, bool apply_to_dl0,
                 const MemTimingParams &params = MemTimingParams(),
-                double time_scale = 0.1, unsigned jobs = 1);
+                double time_scale = 0.1, unsigned jobs = 1,
+                ThreadPool *pool = nullptr);
 
 /**
  * Combined normalised CPI with mechanisms on both DL0 and DTLB
@@ -145,7 +148,8 @@ combinedNormalizedCpi(const WorkloadSet &workload,
                       MechanismKind mechanism,
                       const MemTimingParams &params =
                           MemTimingParams(),
-                      double time_scale = 0.1, unsigned jobs = 1);
+                      double time_scale = 0.1, unsigned jobs = 1,
+                      ThreadPool *pool = nullptr);
 
 } // namespace penelope
 

@@ -1,7 +1,6 @@
 #include "duty.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace penelope {
 
@@ -35,47 +34,151 @@ DutyCycleCounter::reset()
     totalTime_ = 0;
 }
 
-BitBiasTracker::BitBiasTracker(unsigned width)
-    : bits_(width)
-{
-    assert(width >= 1);
-}
+// ------------------------------------------- MaskedTimeAccumulator
 
-void
-BitBiasTracker::observe(const BitWord &value, std::uint64_t dt)
+MaskedTimeAccumulator::MaskedTimeAccumulator(unsigned width)
+    : width_(width), lanes_((width + 63) / 64), time_(width, 0)
 {
-    assert(value.width() >= width());
-    for (unsigned i = 0; i < width(); ++i)
-        bits_[i].observe(value.bit(i), dt);
-}
-
-void
-BitBiasTracker::observe(Word value, std::uint64_t dt)
-{
-    for (unsigned i = 0; i < width(); ++i) {
-        const bool level = i < 64 ? ((value >> i) & 1) : false;
-        bits_[i].observe(level, dt);
+    assert(width >= 1 && width <= kMaxWidth);
+    for (unsigned lane = 0; lane < lanes_; ++lane) {
+        const unsigned bits = std::min(64u, width_ - lane * 64);
+        laneMask_[lane] = bits == 64
+            ? ~std::uint64_t(0)
+            : (std::uint64_t(1) << bits) - 1;
     }
+}
+
+void
+MaskedTimeAccumulator::flushPlanes() const
+{
+    if (planePending_ == 0)
+        return;
+    for (unsigned lane = 0; lane < lanes_; ++lane) {
+        const unsigned base = lane * 64;
+        for (unsigned l = 0; l < kPlanes; ++l) {
+            for (std::uint64_t m = planes_[lane][l]; m;
+                 m &= m - 1) {
+                const unsigned i = static_cast<unsigned>(
+                    std::countr_zero(m));
+                time_[base + i] += std::uint64_t(1) << l;
+            }
+            planes_[lane][l] = 0;
+        }
+    }
+    planePending_ = 0;
+}
+
+void
+MaskedTimeAccumulator::normalize() const
+{
+    flushPlanes();
+    if (base_ != 0) {
+        for (std::uint64_t &t : time_)
+            t += base_;
+        base_ = 0;
+    }
+}
+
+std::uint64_t
+MaskedTimeAccumulator::time(unsigned bit) const
+{
+    normalize();
+    return time_.at(bit);
+}
+
+const std::vector<std::uint64_t> &
+MaskedTimeAccumulator::times() const
+{
+    normalize();
+    return time_;
+}
+
+void
+MaskedTimeAccumulator::merge(const MaskedTimeAccumulator &other)
+{
+    assert(other.width_ == width_);
+    normalize();
+    other.normalize();
+    for (unsigned i = 0; i < width_; ++i)
+        time_[i] += other.time_[i];
+}
+
+void
+MaskedTimeAccumulator::loadTimes(const std::uint64_t *times)
+{
+    reset();
+    std::copy(times, times + width_, time_.begin());
+}
+
+void
+MaskedTimeAccumulator::reset()
+{
+    std::fill(time_.begin(), time_.end(), 0);
+    base_ = 0;
+    planePending_ = 0;
+    for (auto &lane : planes_)
+        std::fill(lane, lane + kPlanes, 0);
+}
+
+// -------------------------------------------------- BitBiasTracker
+
+BitBiasTracker::BitBiasTracker(unsigned width)
+    : width_(width), one_(width)
+{
+    assert(width >= 1 && width <= 128);
+    maskLo_ = width_ >= 64
+        ? ~std::uint64_t(0)
+        : (std::uint64_t(1) << width_) - 1;
+    maskHi_ = width_ <= 64
+        ? 0
+        : (width_ == 128 ? ~std::uint64_t(0)
+                         : (std::uint64_t(1) << (width_ - 64)) - 1);
+}
+
+BitBiasTracker
+BitBiasTracker::fromTimes(unsigned width,
+                          const std::uint64_t *zero_times,
+                          std::uint64_t total_time)
+{
+    BitBiasTracker t(width);
+    std::vector<std::uint64_t> ones(width);
+    for (unsigned i = 0; i < width; ++i) {
+        assert(zero_times[i] <= total_time);
+        ones[i] = total_time - zero_times[i];
+    }
+    t.one_.loadTimes(ones.data());
+    t.totalTime_ = total_time;
+    return t;
+}
+
+double
+BitBiasTracker::probability(std::uint64_t one_time) const
+{
+    if (totalTime_ == 0)
+        return 0.5;
+    return static_cast<double>(totalTime_ - one_time) /
+        static_cast<double>(totalTime_);
 }
 
 double
 BitBiasTracker::zeroProbability(unsigned bit) const
 {
-    return bits_.at(bit).zeroProbability();
+    return probability(one_.time(bit));
 }
 
 double
 BitBiasTracker::worstCaseStress(unsigned bit) const
 {
-    return bits_.at(bit).worstCaseStress();
+    const double p0 = zeroProbability(bit);
+    return std::max(p0, 1.0 - p0);
 }
 
 double
 BitBiasTracker::maxZeroProbability() const
 {
     double best = 0.0;
-    for (const auto &c : bits_)
-        best = std::max(best, c.zeroProbability());
+    for (const std::uint64_t one : one_.times())
+        best = std::max(best, probability(one));
     return best;
 }
 
@@ -83,8 +186,8 @@ double
 BitBiasTracker::minZeroProbability() const
 {
     double best = 1.0;
-    for (const auto &c : bits_)
-        best = std::min(best, c.zeroProbability());
+    for (const std::uint64_t one : one_.times())
+        best = std::min(best, probability(one));
     return best;
 }
 
@@ -92,8 +195,10 @@ double
 BitBiasTracker::maxWorstCaseStress() const
 {
     double best = 0.5;
-    for (const auto &c : bits_)
-        best = std::max(best, c.worstCaseStress());
+    for (const std::uint64_t one : one_.times()) {
+        const double p0 = probability(one);
+        best = std::max(best, std::max(p0, 1.0 - p0));
+    }
     return best;
 }
 
@@ -101,31 +206,38 @@ std::vector<double>
 BitBiasTracker::biasVector() const
 {
     std::vector<double> v;
-    v.reserve(width());
-    for (const auto &c : bits_)
-        v.push_back(c.zeroProbability());
+    v.reserve(width_);
+    for (const std::uint64_t one : one_.times())
+        v.push_back(probability(one));
     return v;
 }
 
-const DutyCycleCounter &
+DutyCycleCounter
 BitBiasTracker::counter(unsigned bit) const
 {
-    return bits_.at(bit);
+    return DutyCycleCounter(totalTime_ - one_.time(bit),
+                            totalTime_);
+}
+
+std::uint64_t
+BitBiasTracker::zeroTime(unsigned bit) const
+{
+    return totalTime_ - one_.time(bit);
 }
 
 void
 BitBiasTracker::merge(const BitBiasTracker &other)
 {
-    assert(other.width() == width());
-    for (unsigned i = 0; i < width(); ++i)
-        bits_[i].merge(other.bits_[i]);
+    assert(other.width_ == width_);
+    one_.merge(other.one_);
+    totalTime_ += other.totalTime_;
 }
 
 void
 BitBiasTracker::reset()
 {
-    for (auto &c : bits_)
-        c.reset();
+    one_.reset();
+    totalTime_ = 0;
 }
 
 } // namespace penelope

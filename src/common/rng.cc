@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace penelope {
 
@@ -16,12 +17,6 @@ splitMix64(std::uint64_t &x)
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
-}
-
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
 }
 
 } // namespace
@@ -51,34 +46,6 @@ Rng::reseed(std::uint64_t seed)
     hasCachedGaussian_ = false;
 }
 
-std::uint64_t
-Rng::operator()()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextInt(std::uint64_t bound)
-{
-    assert(bound > 0);
-    // Lemire-style rejection-free-ish bounded draw; the modulo bias is
-    // negligible for simulation purposes but we still reject the tail.
-    const std::uint64_t threshold = (~bound + 1) % bound; // (2^64-b) mod b
-    for (;;) {
-        std::uint64_t r = (*this)();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
 std::int64_t
 Rng::nextRange(std::int64_t lo, std::int64_t hi)
 {
@@ -88,19 +55,6 @@ Rng::nextRange(std::int64_t lo, std::int64_t hi)
     if (span == 0) // full 64-bit range
         return static_cast<std::int64_t>((*this)());
     return lo + static_cast<std::int64_t>(nextInt(span));
-}
-
-double
-Rng::nextDouble()
-{
-    // 53 random mantissa bits.
-    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 double
@@ -128,12 +82,28 @@ Rng::nextGeometric(double p)
     assert(p > 0.0 && p <= 1.0);
     if (p >= 1.0)
         return 0;
+    // log1p(-p) depends only on p, and every hot caller draws with
+    // a fixed p (mean residence / dependency distance / run
+    // length), so memoise the last two.  Identical p gives the
+    // identical double, so draws are bit-identical to recomputing
+    // it every call.
+    if (p != geomP_[0]) {
+        if (p == geomP_[1]) {
+            std::swap(geomP_[0], geomP_[1]);
+            std::swap(geomLogQ_[0], geomLogQ_[1]);
+        } else {
+            geomP_[1] = geomP_[0];
+            geomLogQ_[1] = geomLogQ_[0];
+            geomP_[0] = p;
+            geomLogQ_[0] = std::log1p(-p);
+        }
+    }
     double u = 0.0;
     do {
         u = nextDouble();
     } while (u <= 0.0);
     return static_cast<std::uint64_t>(
-        std::floor(std::log(u) / std::log1p(-p)));
+        std::floor(std::log(u) / geomLogQ_[0]));
 }
 
 std::uint64_t

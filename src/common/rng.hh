@@ -11,6 +11,7 @@
 #ifndef PENELOPE_COMMON_RNG_HH
 #define PENELOPE_COMMON_RNG_HH
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -42,20 +43,61 @@ class Rng
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~result_type(0); }
 
-    /** Next raw 64-bit draw. */
-    std::uint64_t operator()();
+    /** Next raw 64-bit draw.  Inline: the replay kernels draw
+     *  several times per simulated uop. */
+    std::uint64_t
+    operator()()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound) ; bound must be > 0. */
-    std::uint64_t nextInt(std::uint64_t bound);
+    std::uint64_t
+    nextInt(std::uint64_t bound)
+    {
+        assert(bound > 0);
+        // Power-of-two bounds (opcode pools, register counts, line
+        // offsets) take a division-free path: the rejection
+        // threshold below is exactly 0 and r % bound == r & (bound
+        // - 1), so the draw is bit-identical to the general path.
+        // bound == 0 must NOT match (it would silently return a
+        // full-range draw); it falls through to the general path,
+        // which traps on the division like the pre-fast-path code.
+        if (bound != 0 && (bound & (bound - 1)) == 0)
+            return (*this)() & (bound - 1);
+        // Lemire-style rejection-free-ish bounded draw; the modulo
+        // bias is negligible for simulation purposes but we still
+        // reject the tail.
+        const std::uint64_t threshold =
+            (~bound + 1) % bound; // (2^64-b) mod b
+        for (;;) {
+            std::uint64_t r = (*this)();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        // 53 random mantissa bits.
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability p of returning true. */
-    bool nextBool(double p = 0.5);
+    bool nextBool(double p = 0.5) { return nextDouble() < p; }
 
     /** Standard normal draw (Box-Muller, cached pair). */
     double nextGaussian();
@@ -80,9 +122,20 @@ class Rng
     Rng fork();
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
     double cachedGaussian_;
     bool hasCachedGaussian_;
+
+    /** Memoised log1p(-p) of the last two nextGeometric p values
+     *  (pure value cache: does not affect the draw stream). */
+    double geomP_[2] = {-1.0, -1.0};
+    double geomLogQ_[2] = {0.0, 0.0};
 };
 
 /**

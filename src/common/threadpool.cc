@@ -78,27 +78,17 @@ ThreadPool::workerLoop()
     }
 }
 
-unsigned
-defaultJobs()
-{
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
-}
-
 void
-parallelFor(std::size_t n, unsigned jobs,
-            const std::function<void(std::size_t)> &body)
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
 {
     if (n == 0)
         return;
-    if (jobs <= 1 || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            body(i);
+    if (n == 1) {
+        body(0);
         return;
     }
 
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs, n));
     std::atomic<std::size_t> next{0};
     std::exception_ptr error;
     std::mutex error_mutex;
@@ -124,13 +114,44 @@ parallelFor(std::size_t n, unsigned jobs,
         }
     };
 
-    ThreadPool pool(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.submit(drain);
-    pool.wait();
+    const unsigned tasks = static_cast<unsigned>(
+        std::min<std::size_t>(size(), n));
+    for (unsigned w = 0; w < tasks; ++w)
+        submit(drain);
+    wait();
 
     if (error)
         std::rethrow_exception(error);
+}
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &body,
+            ThreadPool *pool)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    if (pool) {
+        pool->parallelFor(n, body);
+        return;
+    }
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n));
+    ThreadPool scoped(workers);
+    scoped.parallelFor(n, body);
 }
 
 } // namespace penelope

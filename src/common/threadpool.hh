@@ -50,8 +50,22 @@ class ThreadPool
      */
     void wait();
 
+    /**
+     * Run body(i) for every i in [0, n) on this pool's workers and
+     * block until done; the first exception any body threw is
+     * rethrown.  Reuses the resident workers, so repeated parallel
+     * regions (e.g.\ the experiment runners inside
+     * `penelope_bench --all`) pay no per-region thread spin-up.
+     * Not reentrant from a worker thread of the same pool.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
     /** Number of worker threads. */
-    unsigned size() const { return workers_.size(); }
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
 
   private:
     void workerLoop();
@@ -77,13 +91,17 @@ unsigned defaultJobs();
  *
  * With jobs <= 1 (or n <= 1) the loop runs inline on the calling
  * thread with no pool at all, so `--jobs 1` is a true serial
- * reference run.  Indices are handed out through an atomic counter;
- * the first exception thrown by any body is rethrown on the caller
- * after all workers finish.  body must not touch shared mutable
- * state (give every index its own accumulator and merge after).
+ * reference run.  Otherwise the work runs on @p pool when one is
+ * supplied (the persistent-pool path; @p jobs is ignored in favour
+ * of the pool's worker count) or on a pool spun up for this call.
+ * Indices are handed out through an atomic counter; the first
+ * exception thrown by any body is rethrown on the caller after all
+ * workers finish.  body must not touch shared mutable state (give
+ * every index its own accumulator and merge after).
  */
 void parallelFor(std::size_t n, unsigned jobs,
-                 const std::function<void(std::size_t)> &body);
+                 const std::function<void(std::size_t)> &body,
+                 ThreadPool *pool = nullptr);
 
 } // namespace penelope
 

@@ -472,7 +472,7 @@ runTable3(const ExperimentContext &ctx)
         ctx.workload, traces, options.cacheUops, dl0,
         CacheConfig::tlb(128, 8), MechanismKind::WayFixed50, true,
         MemTimingParams(), options.mechanismTimeScale,
-        options.jobs);
+        options.jobs, options.pool);
     wf.addRow({"DL0 8-way 32KB", TextTable::pct(stats.meanLoss)});
     wf.print(os);
 
@@ -481,7 +481,7 @@ runTable3(const ExperimentContext &ctx)
         ctx.workload, traces, options.cacheUops, dl0,
         CacheConfig::tlb(128, 8), MechanismKind::LineFixed50,
         MemTimingParams(), options.mechanismTimeScale,
-        options.jobs);
+        options.jobs, options.pool);
     os << "\nCombined normalised CPI, LineFixed50% on DL0 + "
           "DTLB: "
        << TextTable::num(cpi, 3) << " (paper: 1.007)\n";

@@ -28,15 +28,23 @@
 namespace penelope {
 
 /**
- * Runs trace-shaped work in parallel.  A thin, copyable handle: the
- * pool lives only for the duration of each call.
+ * Runs trace-shaped work in parallel.  A thin, copyable handle:
+ * with a shared ThreadPool attached every parallel region reuses
+ * the resident workers; without one a pool lives only for the
+ * duration of each call.
  */
 class Engine
 {
   public:
-    explicit Engine(unsigned jobs = 1) : jobs_(jobs ? jobs : 1) {}
+    explicit Engine(unsigned jobs = 1, ThreadPool *pool = nullptr)
+        : jobs_(jobs ? jobs : 1), pool_(pool)
+    {
+    }
 
     unsigned jobs() const { return jobs_; }
+
+    /** Shared worker pool, or nullptr (per-call pools). */
+    ThreadPool *pool() const { return pool_; }
 
     /**
      * Materialise fn(item, slot) for every item, in parallel;
@@ -48,14 +56,16 @@ class Engine
     map(const Items &items, Fn &&fn) const
     {
         std::vector<R> out(items.size());
-        parallelFor(items.size(), jobs_, [&](std::size_t k) {
-            out[k] = fn(items[k], k);
-        });
+        parallelFor(
+            items.size(), jobs_,
+            [&](std::size_t k) { out[k] = fn(items[k], k); },
+            pool_);
         return out;
     }
 
   private:
     unsigned jobs_;
+    ThreadPool *pool_;
 };
 
 } // namespace penelope

@@ -35,7 +35,7 @@ runAdderExperiment(const WorkloadSet &workload,
                    const ExperimentOptions &options)
 {
     AdderExperimentResult result;
-    const Engine engine(options.jobs);
+    const Engine engine(options.jobs, options.pool);
 
     LadnerFischerAdder adder(32);
     const GuardbandModel model = GuardbandModel::paperCalibrated();
@@ -121,7 +121,7 @@ runRegFileExperiment(const WorkloadSet &workload, bool fp,
 {
     RegFileExperimentResult result;
     const GuardbandModel model = GuardbandModel::paperCalibrated();
-    const Engine engine(options.jobs);
+    const Engine engine(options.jobs, options.pool);
 
     RegFileConfig rf_config;
     rf_config.name = fp ? "FP-RF" : "INT-RF";
@@ -194,7 +194,7 @@ runSchedulerExperiment(const WorkloadSet &workload,
 {
     SchedulerExperimentResult result;
     const GuardbandModel model = GuardbandModel::paperCalibrated();
-    const Engine engine(options.jobs);
+    const Engine engine(options.jobs, options.pool);
 
     // Paper methodology: profile K on 100 random traces...
     const auto profiling_set = workload.sampleIndices(
@@ -219,7 +219,8 @@ runSchedulerExperiment(const WorkloadSet &workload,
     }
     const SchedulerProfile profile = profileScheduler(
         workload, profile_subset, options.uopsPerTrace / 2,
-        SchedulerConfig(), SchedReplayConfig(), options.jobs);
+        SchedulerConfig(), SchedReplayConfig(), options.jobs,
+        options.pool);
     const auto decisions = decideProtection(profile.bits);
     result.techniques = summarizeDecisions(decisions);
 
@@ -321,7 +322,8 @@ runTable3Experiment(const WorkloadSet &workload,
             const PerfLossStats stats = measurePerfLoss(
                 workload, traces, options.cacheUops, dl0, dtlb,
                 mechanisms[m], !row.isTlb, params,
-                options.mechanismTimeScale, options.jobs);
+                options.mechanismTimeScale, options.jobs,
+                options.pool);
             row.loss[m] = stats.meanLoss;
             row.invertRatio[m] = stats.meanInvertRatio;
         }
@@ -350,12 +352,12 @@ buildProcessorSummary(const AdderExperimentResult &adder,
         workload, traces, options.cacheUops, CacheConfig(),
         CacheConfig::tlb(128, 8), MechanismKind::LineFixed50,
         MemTimingParams(), options.mechanismTimeScale,
-        options.jobs);
+        options.jobs, options.pool);
     summary.combinedCpiDynamic = combinedNormalizedCpi(
         workload, traces, options.cacheUops, CacheConfig(),
         CacheConfig::tlb(128, 8), MechanismKind::LineDynamic60,
         MemTimingParams(), options.mechanismTimeScale,
-        options.jobs);
+        options.jobs, options.pool);
 
     // Per-block costs.  TDP factors are the paper's stated
     // overheads: RINV+timestamps <1% (RF), RINV+counters <2%
@@ -405,7 +407,7 @@ runPipelineSurvey(const WorkloadSet &workload,
     PipelineSurvey survey;
     PipelineConfig cfg;
     cfg.adderPolicy = policy;
-    const Engine engine(options.jobs);
+    const Engine engine(options.jobs, options.pool);
 
     const auto shards = engine.map<PipelineStats>(
         workload.firstPerSuite(), [&](unsigned index,

@@ -28,6 +28,8 @@
 
 namespace penelope {
 
+class ThreadPool;
+
 /** Experiment sizing knobs. */
 struct ExperimentOptions
 {
@@ -41,6 +43,14 @@ struct ExperimentOptions
      * jobs = 1.
      */
     unsigned jobs = 1;
+
+    /**
+     * Optional persistent worker pool (not owned).  When set, every
+     * parallel region of every runner reuses these resident workers
+     * instead of spinning a pool per region; `penelope_bench`
+     * creates one pool per process.  Statistics are unaffected.
+     */
+    ThreadPool *pool = nullptr;
 
     /** Uops per trace for structure/bias experiments. */
     std::size_t uopsPerTrace = 40'000;

@@ -21,29 +21,6 @@ RegisterFile::RegisterFile(const RegFileConfig &config)
 }
 
 void
-RegisterFile::flushEntry(Entry &e, Cycle now)
-{
-    if (now > e.valueSince) {
-        bias_.observe(e.value, now - e.valueSince);
-        e.valueSince = now;
-    }
-}
-
-void
-RegisterFile::meterFlush(Cycle now)
-{
-    const Entry &s = entries_[config_.sampledEntry];
-    if (now > sampledSince_) {
-        const std::uint64_t dt = now - sampledSince_;
-        if (s.holdsInverted)
-            sampledInvertedTime_ += dt;
-        else
-            sampledNonInvertedTime_ += dt;
-        sampledSince_ = now;
-    }
-}
-
-void
 RegisterFile::occupancyFlush(Cycle now)
 {
     if (now > lastOccupancyFlush_) {
@@ -80,8 +57,11 @@ RegisterFile::write(unsigned entry, const BitWord &value, Cycle now)
     e.value = value;
     e.holdsInverted = false;
     // RINV periodically samples (and inverts) a written value.
-    if ((writeCount_++ % config_.rinvSampleInterval) == 0)
+    if (rinvCountdown_ == 0) {
+        rinvCountdown_ = config_.rinvSampleInterval;
         rinv_ = value.inverted();
+    }
+    --rinvCountdown_;
 }
 
 void

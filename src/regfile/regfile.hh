@@ -120,11 +120,30 @@ class RegisterFile
         Cycle valueSince = 0;
     };
 
-    /** Account @p entry's current value up to @p now. */
-    void flushEntry(Entry &e, Cycle now);
+    /** Account @p entry's current value up to @p now (inline: runs
+     *  once per value change on the replay hot path). */
+    void
+    flushEntry(Entry &e, Cycle now)
+    {
+        if (now > e.valueSince) {
+            bias_.observe(e.value, now - e.valueSince);
+            e.valueSince = now;
+        }
+    }
 
     /** Update the sampled-entry balance meter on a state change. */
-    void meterFlush(Cycle now);
+    void
+    meterFlush(Cycle now)
+    {
+        if (now > sampledSince_) {
+            const std::uint64_t dt = now - sampledSince_;
+            if (entries_[config_.sampledEntry].holdsInverted)
+                sampledInvertedTime_ += dt;
+            else
+                sampledNonInvertedTime_ += dt;
+            sampledSince_ = now;
+        }
+    }
 
     /** Account busy-time integral before a busy-count change. */
     void occupancyFlush(Cycle now);
@@ -140,7 +159,10 @@ class RegisterFile
     bool isvEnabled_ = false;
 
     BitWord rinv_;
-    std::uint64_t writeCount_ = 0;
+
+    /** Writes left until the next RINV resample (countdown form of
+     *  writeCount % rinvSampleInterval == 0: division-free). */
+    std::uint64_t rinvCountdown_ = 0;
 
     /** Timestamp-based balance meter for the sampled entry. */
     std::uint64_t sampledInvertedTime_ = 0;

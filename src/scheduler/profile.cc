@@ -15,10 +15,10 @@ profileScheduler(const WorkloadSet &workload,
                  std::size_t uops_per_trace,
                  const SchedulerConfig &sched_config,
                  const SchedReplayConfig &replay_config,
-                 unsigned jobs)
+                 unsigned jobs, ThreadPool *pool)
 {
     std::vector<SchedulerStress> shards(trace_indices.size());
-    parallelFor(trace_indices.size(), jobs, [&](std::size_t k) {
+    const auto body = [&](std::size_t k) {
         const unsigned index = trace_indices[k];
         Scheduler sched(sched_config);
         sched.enableProtection(false);
@@ -28,7 +28,8 @@ profileScheduler(const WorkloadSet &workload,
         TraceGenerator gen = workload.generator(index);
         const SchedReplayResult r = replay.run(gen, uops_per_trace);
         shards[k] = sched.snapshotStress(r.cycles);
-    });
+    };
+    parallelFor(trace_indices.size(), jobs, body, pool);
 
     SchedulerProfile profile;
     if (shards.empty())

@@ -21,6 +21,8 @@
 
 namespace penelope {
 
+class ThreadPool;
+
 /** Outcome of the profiling pass. */
 struct SchedulerProfile
 {
@@ -45,7 +47,8 @@ profileScheduler(const WorkloadSet &workload,
                      SchedulerConfig(),
                  const SchedReplayConfig &replay_config =
                      SchedReplayConfig(),
-                 unsigned jobs = 1);
+                 unsigned jobs = 1,
+                 ThreadPool *pool = nullptr);
 
 /**
  * Derive per-bit protection decisions from a profile.

@@ -7,34 +7,49 @@
 namespace penelope {
 
 Scheduler::Scheduler(const SchedulerConfig &config)
-    : config_(config)
+    : config_(config),
+      zeroTotal_(fieldLayout().totalBits()),
+      busyZero_(fieldLayout().totalBits()),
+      busyTime_(fieldLayout().totalBits())
 {
     const FieldLayout &layout = fieldLayout();
+    assert(layout.totalBits() <= MaskedTimeAccumulator::kMaxWidth);
+    assert(layout.count() <= 32); // holdsInverted is a 32-bit mask
     entries_.resize(config_.numEntries);
-    for (auto &e : entries_) {
-        e.fields.resize(layout.count());
-        for (unsigned f = 0; f < layout.count(); ++f)
-            e.fields[f].value = BitWord(layout.spec(f).width);
-    }
     for (unsigned i = 0; i < config_.numEntries; ++i)
         freeList_.push_back(i);
 
     decisions_.assign(layout.totalBits(), BitDecision{});
     dutyGens_.assign(layout.totalBits(), DutyGenerator(1.0));
-    rinv_.reserve(layout.count());
-    for (unsigned f = 0; f < layout.count(); ++f)
-        rinv_.push_back(BitWord(layout.spec(f).width).inverted());
 
-    totalBias_.reserve(layout.count());
-    busyBias_.reserve(layout.count());
+    slots_.reserve(layout.count());
+    fieldMasks_.reserve(layout.count());
+    rinv_.reserve(layout.count());
     for (unsigned f = 0; f < layout.count(); ++f) {
-        totalBias_.emplace_back(layout.spec(f).width);
-        busyBias_.emplace_back(layout.spec(f).width);
+        const FieldSpec &spec = layout.spec(f);
+        assert(spec.width >= 1 && spec.width < 64);
+        FieldSlot s;
+        s.widthMask = (std::uint64_t(1) << spec.width) - 1;
+        s.word0 = spec.offset / 64;
+        s.shift0 = spec.offset % 64;
+        s.bitsInWord0 = std::min(spec.width, 64 - s.shift0);
+        s.straddles = s.bitsInWord0 < spec.width;
+        slots_.push_back(s);
+
+        LayoutWords mask{};
+        mask[s.word0] |= s.widthMask << s.shift0;
+        if (s.straddles)
+            mask[s.word0 + 1] |= s.widthMask >> s.bitsInWord0;
+        for (unsigned w = 0; w < kLayoutWords; ++w)
+            layoutMask_[w] |= mask[w];
+        fieldMasks_.push_back(mask);
+
+        rinv_.push_back(BitWord(spec.width).inverted());
     }
-    fieldUseTime_.assign(layout.count(), 0);
+
     fieldInvertedTime_.assign(layout.count(), 0);
-    fieldNonInvertedTime_.assign(layout.count(), 0);
     fieldHasIsv_.assign(layout.count(), false);
+    rebuildRepairPlans();
 }
 
 void
@@ -44,14 +59,47 @@ Scheduler::configureProtection(std::vector<BitDecision> decisions)
     decisions_ = std::move(decisions);
     for (unsigned b = 0; b < decisions_.size(); ++b)
         dutyGens_[b].setK(decisions_[b].k);
+    rebuildRepairPlans();
+}
+
+void
+Scheduler::rebuildRepairPlans()
+{
     const FieldLayout &layout = fieldLayout();
+    repairPlans_.assign(layout.count(), FieldRepairPlan{});
     for (unsigned f = 0; f < layout.count(); ++f) {
         const FieldSpec &spec = layout.spec(f);
-        bool has_isv = false;
-        for (unsigned b = 0; b < spec.width && !has_isv; ++b)
-            has_isv = decisions_[spec.offset + b].technique ==
-                Technique::Isv;
-        fieldHasIsv_[f] = has_isv;
+        FieldRepairPlan &plan = repairPlans_[f];
+        plan.keepMask = 0;
+        for (unsigned b = 0; b < spec.width; ++b) {
+            const unsigned global = spec.offset + b;
+            const std::uint64_t bit = std::uint64_t(1) << b;
+            switch (decisions_[global].technique) {
+              case Technique::All1:
+                plan.all1Mask |= bit;
+                break;
+              case Technique::All0:
+                break; // uncovered bits come out 0
+              case Technique::All1K:
+                plan.kBits.push_back(
+                    {static_cast<std::uint8_t>(b),
+                     static_cast<std::uint16_t>(global), false});
+                break;
+              case Technique::All0K:
+                plan.kBits.push_back(
+                    {static_cast<std::uint8_t>(b),
+                     static_cast<std::uint16_t>(global), true});
+                break;
+              case Technique::Isv:
+                plan.isvMask |= bit;
+                break;
+              case Technique::None:
+              case Technique::Unprotectable:
+                plan.keepMask |= bit;
+                break;
+            }
+        }
+        fieldHasIsv_[f] = plan.isvMask != 0;
     }
 }
 
@@ -61,31 +109,75 @@ Scheduler::enableProtection(bool enabled)
     protectionEnabled_ = enabled;
 }
 
-void
-Scheduler::flushField(unsigned entry, unsigned field, Cycle now)
+std::uint64_t
+Scheduler::extractField(const Entry &e, unsigned field) const
 {
-    FieldState &fs = entries_[entry].fields[field];
-    if (now > fs.since) {
-        const std::uint64_t dt = now - fs.since;
-        totalBias_[field].observe(fs.value, dt);
-        if (fs.inUse) {
-            busyBias_[field].observe(fs.value, dt);
-            fieldUseTime_[field] += dt;
-        }
-        if (fs.holdsInverted)
-            fieldInvertedTime_[field] += dt;
-        else
-            fieldNonInvertedTime_[field] += dt;
-        fs.since = now;
+    const FieldSlot &s = slots_[field];
+    std::uint64_t v = e.image[s.word0] >> s.shift0;
+    if (s.straddles)
+        v |= e.image[s.word0 + 1] << s.bitsInWord0;
+    return v & s.widthMask;
+}
+
+void
+Scheduler::depositField(Entry &e, unsigned field,
+                        std::uint64_t value)
+{
+    const FieldSlot &s = slots_[field];
+    value &= s.widthMask;
+    e.image[s.word0] =
+        (e.image[s.word0] & ~(s.widthMask << s.shift0)) |
+        (value << s.shift0);
+    if (s.straddles) {
+        e.image[s.word0 + 1] =
+            (e.image[s.word0 + 1] &
+             ~(s.widthMask >> s.bitsInWord0)) |
+            (value >> s.bitsInWord0);
     }
+}
+
+void
+Scheduler::setFieldInUse(Entry &e, unsigned field, bool in_use)
+{
+    const LayoutWords &mask = fieldMasks_[field];
+    for (unsigned w = 0; w < kLayoutWords; ++w) {
+        if (in_use)
+            e.inUse[w] |= mask[w];
+        else
+            e.inUse[w] &= ~mask[w];
+    }
+}
+
+void
+Scheduler::flushEntry(Entry &e, Cycle now)
+{
+    if (now <= e.since)
+        return;
+    const std::uint64_t dt = now - e.since;
+    std::uint64_t zero[kLayoutWords];
+    for (unsigned w = 0; w < kLayoutWords; ++w)
+        zero[w] = ~e.image[w] & layoutMask_[w];
+    zeroTotal_.add(zero, dt);
+    if (e.inUse[0] | e.inUse[1] | e.inUse[2]) {
+        std::uint64_t busy_zero[kLayoutWords];
+        for (unsigned w = 0; w < kLayoutWords; ++w)
+            busy_zero[w] = zero[w] & e.inUse[w];
+        busyZero_.add(busy_zero, dt);
+        busyTime_.add(e.inUse.data(), dt);
+    }
+    entryTime_ += dt;
+    for (std::uint32_t m = e.holdsInverted; m; m &= m - 1) {
+        fieldInvertedTime_[static_cast<unsigned>(
+            std::countr_zero(m))] += dt;
+    }
+    e.since = now;
 }
 
 void
 Scheduler::flushAll(Cycle now)
 {
-    for (unsigned e = 0; e < entries_.size(); ++e)
-        for (unsigned f = 0; f < fieldLayout().count(); ++f)
-            flushField(e, f, now);
+    for (Entry &e : entries_)
+        flushEntry(e, now);
     occupancyFlush(now);
 }
 
@@ -99,59 +191,54 @@ Scheduler::occupancyFlush(Cycle now)
     }
 }
 
-BitWord
-Scheduler::repairValue(unsigned field, const BitWord &current,
-                       bool write_isv)
+std::uint64_t
+Scheduler::repairBits(unsigned field, std::uint64_t current,
+                      bool write_isv)
 {
-    const FieldSpec &spec = fieldLayout().spec(field);
-    BitWord out(spec.width);
-    for (unsigned b = 0; b < spec.width; ++b) {
-        const unsigned global = spec.offset + b;
-        const BitDecision &d = decisions_[global];
-        bool v = current.bit(b);
-        switch (d.technique) {
-          case Technique::All1:
-            v = true;
-            break;
-          case Technique::All0:
-            v = false;
-            break;
-          case Technique::All1K:
-            v = dutyGens_[global].next();
-            break;
-          case Technique::All0K:
-            v = !dutyGens_[global].next();
-            break;
-          case Technique::Isv:
-            // The balance meter alternates polarity so entries hold
-            // inverted contents 50% of the overall time: write the
-            // inverted sample, or the plain (re-inverted) sample
-            // when inverted residence already leads.
-            v = write_isv ? rinv_[field].bit(b)
-                          : !rinv_[field].bit(b);
-            break;
-          case Technique::None:
-          case Technique::Unprotectable:
-            break; // keep stale contents
-        }
-        out.setBit(b, v);
+    const FieldRepairPlan &plan = repairPlans_[field];
+    std::uint64_t out = (current & plan.keepMask) | plan.all1Mask;
+    // The balance meter alternates polarity so entries hold
+    // inverted contents 50% of the overall time: write the
+    // inverted sample, or the plain (re-inverted) sample when
+    // inverted residence already leads.
+    const std::uint64_t isv_src = write_isv
+        ? rinv_[field].lo()
+        : ~rinv_[field].lo();
+    out |= isv_src & plan.isvMask;
+    for (const FieldRepairPlan::KBit &kb : plan.kBits) {
+        const bool one = dutyGens_[kb.global].next() != kb.inverted;
+        out |= std::uint64_t(one) << kb.bit;
     }
     return out;
 }
 
-void
-Scheduler::applyRepair(unsigned entry, unsigned field)
+BitWord
+Scheduler::repairValue(unsigned field, const BitWord &current,
+                       bool write_isv)
 {
-    FieldState &fs = entries_[entry].fields[field];
+    return BitWord(fieldLayout().spec(field).width,
+                   repairBits(field, current.lo(), write_isv));
+}
+
+void
+Scheduler::applyRepair(Entry &e, unsigned field)
+{
     // ISV balance meter (timestamps, Section 3.2.2): write inverted
     // contents while non-inverted residence leads, plain samples
     // otherwise, so entries hold inverted values 50% of the
     // overall time.
     const bool write_isv = fieldHasIsv_[field] &&
-        fieldNonInvertedTime_[field] >= fieldInvertedTime_[field];
-    fs.value = repairValue(field, fs.value, write_isv);
-    if (fieldHasIsv_[field])
-        fs.holdsInverted = write_isv;
+        entryTime_ - fieldInvertedTime_[field] >=
+            fieldInvertedTime_[field];
+    depositField(e, field,
+                 repairBits(field, extractField(e, field),
+                            write_isv));
+    if (fieldHasIsv_[field]) {
+        if (write_isv)
+            e.holdsInverted |= std::uint32_t(1) << field;
+        else
+            e.holdsInverted &= ~(std::uint32_t(1) << field);
+    }
 }
 
 void
@@ -195,20 +282,20 @@ Scheduler::allocate(const Uop &uop, const RenameTags &tags,
     ++allocCount_;
 
     const FieldLayout &layout = fieldLayout();
+    flushEntry(e, now);
     for (unsigned f = 0; f < layout.count(); ++f) {
         const FieldSpec &spec = layout.spec(f);
-        FieldState &fs = e.fields[f];
-        flushField(idx, f, now);
         if (fieldUsedByUop(spec.id, uop, tags)) {
-            fs.value = fieldValue(spec.id, uop, tags);
-            fs.inUse = true;
-            fs.holdsInverted = false;
+            depositField(e, f,
+                         fieldValue(spec.id, uop, tags).lo());
+            setFieldInUse(e, f, true);
+            e.holdsInverted &= ~(std::uint32_t(1) << f);
         } else {
             // Unused fields of a busy slot may hold repair values
             // (they are written through the allocate port anyway).
             if (protectionEnabled_)
-                applyRepair(idx, f);
-            fs.inUse = false;
+                applyRepair(e, f);
+            setFieldInUse(e, f, false);
         }
     }
     return static_cast<int>(idx);
@@ -226,26 +313,27 @@ Scheduler::release(unsigned entry, Cycle now, bool port_available)
     freeList_.push_back(entry);
 
     const FieldLayout &layout = fieldLayout();
+    flushEntry(e, now);
+    e.inUse = LayoutWords{};
+
+    // The valid bit drops to 0 on release; its contents are always
+    // live, so it cannot be repaired.
+    const unsigned valid_field =
+        static_cast<unsigned>(FieldId::Valid);
+    depositField(e, valid_field, 0);
+    e.holdsInverted &= ~(std::uint32_t(1) << valid_field);
+
+    if (!protectionEnabled_)
+        return;
     for (unsigned f = 0; f < layout.count(); ++f) {
-        const FieldSpec &spec = layout.spec(f);
-        FieldState &fs = e.fields[f];
-        flushField(entry, f, now);
-        fs.inUse = false;
-        if (spec.id == FieldId::Valid) {
-            // The valid bit drops to 0 on release; its contents are
-            // always live, so it cannot be repaired.
-            fs.value = BitWord(spec.width, 0);
-            fs.holdsInverted = false;
+        if (f == valid_field)
             continue;
-        }
-        if (protectionEnabled_) {
-            // Without a free allocate port the update is delayed by
-            // a cycle or two, which is negligible against multi-
-            // cycle residences (Section 3.2); model it as applied.
-            if (!port_available)
-                ++repairsDelayed_;
-            applyRepair(entry, f);
-        }
+        // Without a free allocate port the update is delayed by a
+        // cycle or two, which is negligible against multi-cycle
+        // residences (Section 3.2); model it as applied.
+        if (!port_available)
+            ++repairsDelayed_;
+        applyRepair(e, f);
     }
 }
 
@@ -266,8 +354,8 @@ Scheduler::fieldOccupancy(FieldId f, Cycle now) const
 {
     if (now == 0)
         return 0.0;
-    const unsigned index = static_cast<unsigned>(f);
-    return static_cast<double>(fieldUseTime_[index]) /
+    const FieldSpec &spec = fieldLayout().spec(f);
+    return static_cast<double>(busyTime_.time(spec.offset)) /
         (static_cast<double>(config_.numEntries) *
          static_cast<double>(now));
 }
@@ -298,9 +386,27 @@ Scheduler::snapshotStress(Cycle now)
     s.numEntries = config_.numEntries;
     s.cycles = now;
     s.busyIntegral = busyIntegral_;
-    s.totalBias = totalBias_;
-    s.busyBias = busyBias_;
-    s.fieldUseTime = fieldUseTime_;
+
+    // Materialise the per-field tracker views from the 144-bit
+    // sliced accumulators.  Within a field every bit shares the
+    // same total/in-use time (fields are used whole), so the
+    // shared-total tracker representation is exact.
+    const FieldLayout &layout = fieldLayout();
+    const std::vector<std::uint64_t> &zero_total =
+        zeroTotal_.times();
+    const std::vector<std::uint64_t> &busy_zero = busyZero_.times();
+    s.totalBias.reserve(layout.count());
+    s.busyBias.reserve(layout.count());
+    s.fieldUseTime.reserve(layout.count());
+    for (unsigned f = 0; f < layout.count(); ++f) {
+        const FieldSpec &spec = layout.spec(f);
+        const std::uint64_t use_time = busyTime_.time(spec.offset);
+        s.totalBias.push_back(BitBiasTracker::fromTimes(
+            spec.width, &zero_total[spec.offset], entryTime_));
+        s.busyBias.push_back(BitBiasTracker::fromTimes(
+            spec.width, &busy_zero[spec.offset], use_time));
+        s.fieldUseTime.push_back(use_time);
+    }
     return s;
 }
 

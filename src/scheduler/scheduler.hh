@@ -8,11 +8,22 @@
  * released (and into fields left unused by the occupying uop at
  * allocation), using the per-bit techniques chosen by the Figure-3
  * casuistic.
+ *
+ * Duty accounting is word-parallel: every entry packs its 18 fields
+ * into one 144-bit slot image (three 64-bit words) with a single
+ * residence timestamp, and a flush charges the whole image into
+ * 144-bit-wide MaskedTimeAccumulators (total zero-time, in-use
+ * zero-time, in-use time) with a handful of mask operations --
+ * instead of walking 18 fields x width per-bit counters.  Per-field
+ * BitBiasTracker views are materialised only when a snapshot is
+ * taken; the sums are exact unsigned integers, so the statistics
+ * are bit-identical to the per-bit form.
  */
 
 #ifndef PENELOPE_SCHEDULER_SCHEDULER_HH
 #define PENELOPE_SCHEDULER_SCHEDULER_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -130,40 +141,116 @@ class Scheduler
 
     const SchedulerConfig &config() const { return config_; }
 
+    /** Build the repair value for one field at this instant.
+     *  @p write_isv gates the ISV bits (the 50%-of-overall-time
+     *  balance meter, Section 3.2.2).  Branch-free: the per-bit
+     *  technique switch is precomputed into per-field masks; only
+     *  the K%-duty bits keep per-bit generator state (public so
+     *  tests can pin the mask recipe against the scalar form). */
+    BitWord repairValue(unsigned field, const BitWord &current,
+                        bool write_isv);
+
   private:
-    struct FieldState
-    {
-        BitWord value;
-        Cycle since = 0;
-        bool inUse = false;
-        bool holdsInverted = false; ///< last repair wrote RINV
-    };
+    /** 64-bit words in the packed 144-bit slot layout. */
+    static constexpr unsigned kLayoutWords = 3;
+
+    using LayoutWords = std::array<std::uint64_t, kLayoutWords>;
 
     struct Entry
     {
         bool busy = false;
-        std::vector<FieldState> fields;
+
+        /** Packed field values in layout order. */
+        LayoutWords image{};
+
+        /** Per-bit in-use mask (whole fields at a time). */
+        LayoutWords inUse{};
+
+        /** Per-field "last repair wrote RINV" bits. */
+        std::uint32_t holdsInverted = 0;
+
+        /** Residence of the current image (shared by all fields:
+         *  every image change flushes the whole entry). */
+        Cycle since = 0;
     };
 
-    void flushField(unsigned entry, unsigned field, Cycle now);
+    /** Precomputed placement of one field in the packed layout. */
+    struct FieldSlot
+    {
+        std::uint64_t widthMask; ///< (1 << width) - 1
+        unsigned word0;
+        unsigned shift0;
+        unsigned bitsInWord0; ///< < width when the field straddles
+        bool straddles;
+    };
+
+    /**
+     * Word-level repair recipe for one field, precomputed from the
+     * per-bit decisions so repairValue needs no per-bit technique
+     * dispatch.  Bits not covered by any mask (ALL0) stay 0.
+     */
+    struct FieldRepairPlan
+    {
+        /** None/Unprotectable bits: keep the current contents. */
+        std::uint64_t keepMask = ~std::uint64_t(0);
+
+        /** ALL1 bits: pin to 1. */
+        std::uint64_t all1Mask = 0;
+
+        /** ISV bits: written from RINV (or its inversion). */
+        std::uint64_t isvMask = 0;
+
+        /** One ALL1-K%/ALL0-K% bit (these keep per-bit duty
+         *  generator state; listed in ascending bit order so the
+         *  generators advance exactly as in the per-bit loop). */
+        struct KBit
+        {
+            std::uint8_t bit;     ///< bit index within the field
+            std::uint16_t global; ///< layout-order bit index
+            bool inverted;        ///< ALL0-K%: write !next()
+        };
+        std::vector<KBit> kBits;
+    };
+
+    /** Extract/deposit one field of an entry's packed image. */
+    std::uint64_t extractField(const Entry &e, unsigned field) const;
+    void depositField(Entry &e, unsigned field, std::uint64_t value);
+
+    /** Set/clear a field's bits in the entry's in-use mask. */
+    void setFieldInUse(Entry &e, unsigned field, bool in_use);
+
+    /** Charge the entry's image residence up to @p now into the
+     *  sliced accumulators. */
+    void flushEntry(Entry &e, Cycle now);
+
     void flushAll(Cycle now);
     void occupancyFlush(Cycle now);
 
-    /** Build the repair value for one field at this instant.
-     *  @p write_isv gates the ISV bits (the 50%-of-overall-time
-     *  balance meter, Section 3.2.2). */
-    BitWord repairValue(unsigned field, const BitWord &current,
-                        bool write_isv);
+    /** Recompute repairPlans_/fieldHasIsv_ from decisions_. */
+    void rebuildRepairPlans();
+
+    /** repairValue on packed field bits. */
+    std::uint64_t repairBits(unsigned field, std::uint64_t current,
+                             bool write_isv);
 
     /** Apply a repair to an entry's field and update its
      *  inverted-residence bookkeeping. */
-    void applyRepair(unsigned entry, unsigned field);
+    void applyRepair(Entry &e, unsigned field);
 
     /** Refresh the ISV bits of RINV from @p uop's field values. */
     void sampleRinv(const Uop &uop, const RenameTags &tags);
 
     SchedulerConfig config_;
     std::vector<Entry> entries_;
+
+    /** Per-field packed-layout placement. */
+    std::vector<FieldSlot> slots_;
+
+    /** Per-field full in-use masks (field bits set in all words). */
+    std::vector<LayoutWords> fieldMasks_;
+
+    /** Valid bits of the whole layout (masks image complements). */
+    LayoutWords layoutMask_{};
 
     /** FIFO free list: slots rotate evenly, so every entry sees
      *  repair writes (and tag/slot usage is self-balanced). */
@@ -179,16 +266,22 @@ class Scheduler
     std::uint64_t allocCount_ = 0;
     std::uint64_t repairsDelayed_ = 0;
 
-    /** Per-field ISV balance meters (inverted vs non-inverted
-     *  residence over all entries). */
+    /** Per-field ISV balance meters.  Only inverted residence is
+     *  accumulated; non-inverted residence is entryTime_ minus it
+     *  (every flush charges each field exactly once). */
     std::vector<std::uint64_t> fieldInvertedTime_;
-    std::vector<std::uint64_t> fieldNonInvertedTime_;
     std::vector<bool> fieldHasIsv_;
+    std::vector<FieldRepairPlan> repairPlans_; ///< per field
 
-    /** Accounting. */
-    std::vector<BitBiasTracker> totalBias_; ///< per field
-    std::vector<BitBiasTracker> busyBias_;  ///< per field, in-use only
-    std::vector<std::uint64_t> fieldUseTime_;
+    /** Sliced duty accounting over the 144-bit layout. */
+    MaskedTimeAccumulator zeroTotal_; ///< zero-time, all residence
+    MaskedTimeAccumulator busyZero_;  ///< zero-time while in use
+    MaskedTimeAccumulator busyTime_;  ///< in-use time
+
+    /** Total flushed residence time (identical for every bit:
+     *  each entry flush covers the whole layout). */
+    std::uint64_t entryTime_ = 0;
+
     double busyIntegral_ = 0.0;
     Cycle lastOccupancyFlush_ = 0;
 };

@@ -64,6 +64,7 @@ TraceGenerator::TraceGenerator(const TraceSpec &spec)
     : spec_(spec),
       profile_(suiteProfile(spec.suite)),
       params_(resolveParams(profile_, spec.seed)),
+      srcGeomP_(1.0 / std::max(1.0, profile_.ilpDistance)),
       rng_(spec.seed),
       intValues_(profile_.intValues, Rng(spec.seed ^ 0x1111)),
       fpValues_(profile_.fpValues, Rng(spec.seed ^ 0x2222)),
@@ -181,15 +182,15 @@ TraceGenerator::opcodeFor(UopClass cls)
 std::uint8_t
 TraceGenerator::pickSourceReg(bool fp)
 {
-    auto &recent = fp ? recentFp_ : recentInt_;
+    const std::size_t pool =
+        fp ? recentFp_.size() : recentInt_.size();
     const unsigned arch_regs = fp ? numArchFpRegs : numArchIntRegs;
-    if (recent.empty())
+    if (pool == 0)
         return static_cast<std::uint8_t>(rng_.nextInt(arch_regs));
     // Geometric dependency distance: mean ilpDistance positions back.
-    const double p = 1.0 / std::max(1.0, profile_.ilpDistance);
     const std::size_t back = std::min<std::size_t>(
-        rng_.nextGeometric(p), recent.size() - 1);
-    return recent[back];
+        rng_.nextGeometric(srcGeomP_), pool - 1);
+    return fp ? recentFp_[back] : recentInt_[back];
 }
 
 std::uint8_t
@@ -273,9 +274,7 @@ TraceGenerator::next()
         uop.shift1 = rng_.nextBool(0.02);
         uop.shift2 = rng_.nextBool(0.01);
         intRegs_[uop.dstReg] = result;
-        recentInt_.insert(recentInt_.begin(), uop.dstReg);
-        if (recentInt_.size() > 16)
-            recentInt_.pop_back();
+        recentInt_.pushFront(uop.dstReg);
         break;
       }
       case UopClass::FpAdd:
@@ -295,9 +294,7 @@ TraceGenerator::next()
         else if (tos_ > 0 && rng_.nextBool(0.3))
             --tos_;
         fpRegs_[uop.dstReg] = result;
-        recentFp_.insert(recentFp_.begin(), uop.dstReg);
-        if (recentFp_.size() > 8)
-            recentFp_.pop_back();
+        recentFp_.pushFront(uop.dstReg);
         break;
       }
       case UopClass::Load: {
@@ -310,9 +307,7 @@ TraceGenerator::next()
         uop.dstReg = pickDestReg(false);
         uop.dstVal = result;
         intRegs_[uop.dstReg] = result;
-        recentInt_.insert(recentInt_.begin(), uop.dstReg);
-        if (recentInt_.size() > 16)
-            recentInt_.pop_back();
+        recentInt_.pushFront(uop.dstReg);
         break;
       }
       case UopClass::Store: {

@@ -14,6 +14,8 @@
 #define PENELOPE_TRACE_GENERATOR_HH
 
 #include <cstdint>
+#include <initializer_list>
+#include <iterator>
 #include <vector>
 
 #include "suite.hh"
@@ -48,6 +50,55 @@ struct Trace
 };
 
 /**
+ * Fixed-capacity newest-first ring of recently written registers.
+ *
+ * Replaces a vector with insert-at-begin/pop-at-end (which shifted
+ * the whole pool on every uop) with O(1) pushes; contents and
+ * indexing order are identical.  N must be a power of two.
+ */
+template <unsigned N>
+class RecentRing
+{
+    static_assert((N & (N - 1)) == 0, "N must be a power of two");
+
+  public:
+    void
+    assign(std::initializer_list<std::uint8_t> init)
+    {
+        head_ = 0;
+        size_ = 0;
+        for (auto it = std::rbegin(init); it != std::rend(init);
+             ++it)
+            pushFront(*it);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** Element @p back positions behind the newest (0 = newest). */
+    std::uint8_t
+    operator[](std::size_t back) const
+    {
+        return buf_[(head_ + back) % N];
+    }
+
+    /** Insert the newest element (oldest drops off at capacity). */
+    void
+    pushFront(std::uint8_t value)
+    {
+        head_ = (head_ + N - 1) % N;
+        buf_[head_] = value;
+        if (size_ < N)
+            ++size_;
+    }
+
+  private:
+    std::uint8_t buf_[N] = {};
+    unsigned head_ = 0;
+    unsigned size_ = 0;
+};
+
+/**
  * Deterministic uop trace generator for one TraceSpec.
  *
  * Usage: construct, then call generate(n) once, or next() repeatedly
@@ -79,6 +130,10 @@ class TraceGenerator
     TraceSpec spec_;
     const SuiteProfile &profile_;
     TraceParams params_;
+
+    /** Precomputed 1 / max(1, ilpDistance) (same double as the
+     *  per-call expression; hoisted off the per-uop path). */
+    double srcGeomP_;
     Rng rng_;
     IntValueGen intValues_;
     FpValueGen fpValues_;
@@ -89,8 +144,8 @@ class TraceGenerator
     BitWord fpRegs_[numArchFpRegs];
 
     /** Recently written registers, newest first (dependency pool). */
-    std::vector<std::uint8_t> recentInt_;
-    std::vector<std::uint8_t> recentFp_;
+    RecentRing<16> recentInt_;
+    RecentRing<8> recentFp_;
 
     std::uint8_t mobCounter_;
     std::uint8_t tos_;

@@ -6,7 +6,9 @@
 namespace penelope {
 
 IntValueGen::IntValueGen(const IntValueProfile &profile, Rng rng)
-    : profile_(profile), rng_(rng)
+    : profile_(profile),
+      smallGeomP_(1.0 / profile.meanSmallMagnitude),
+      rng_(rng)
 {
 }
 
@@ -18,15 +20,12 @@ IntValueGen::next()
     if (u < acc)
         return 0;
     acc += profile_.smallPosProb;
-    if (u < acc) {
-        const double p = 1.0 / profile_.meanSmallMagnitude;
-        return (rng_.nextGeometric(p) + 1) & 0xffffffffULL;
-    }
+    if (u < acc)
+        return (rng_.nextGeometric(smallGeomP_) + 1) & 0xffffffffULL;
     acc += profile_.smallNegProb;
     if (u < acc) {
-        const double p = 1.0 / profile_.meanSmallMagnitude;
-        const std::int64_t mag =
-            static_cast<std::int64_t>(rng_.nextGeometric(p)) + 1;
+        const std::int64_t mag = static_cast<std::int64_t>(
+            rng_.nextGeometric(smallGeomP_)) + 1;
         return static_cast<std::uint32_t>(-mag);
     }
     acc += profile_.pointerProb;

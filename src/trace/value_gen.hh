@@ -56,6 +56,10 @@ class IntValueGen
 
   private:
     IntValueProfile profile_;
+
+    /** Precomputed 1 / meanSmallMagnitude (same double as the
+     *  per-call expression; hoisted off the per-value path). */
+    double smallGeomP_;
     Rng rng_;
 };
 

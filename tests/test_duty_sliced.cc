@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Property tests pinning the bit-sliced duty accounting to a scalar
+ * reference.
+ *
+ * ScalarBitBiasTracker is the pre-sliced implementation (one branchy
+ * DutyCycleCounter per bit), kept verbatim as the executable
+ * specification.  The sliced BitBiasTracker must match it bit for
+ * bit -- same integers, same doubles -- across widths 1..128,
+ * arbitrary dt (including the carry-save planes' overflow-flush
+ * boundaries), interleaved reads (which force plane flushes), both
+ * observe overloads, and any merge order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/duty.hh"
+#include "common/rng.hh"
+#include "scheduler/scheduler.hh"
+#include "scheduler/techniques.hh"
+
+namespace penelope {
+namespace {
+
+/** The scalar reference: one DutyCycleCounter per bit. */
+class ScalarBitBiasTracker
+{
+  public:
+    explicit ScalarBitBiasTracker(unsigned width) : bits_(width) {}
+
+    unsigned width() const
+    {
+        return static_cast<unsigned>(bits_.size());
+    }
+
+    void
+    observe(const BitWord &value, std::uint64_t dt = 1)
+    {
+        for (unsigned i = 0; i < width(); ++i)
+            bits_[i].observe(value.bit(i), dt);
+    }
+
+    void
+    observe(Word value, std::uint64_t dt = 1)
+    {
+        for (unsigned i = 0; i < width(); ++i) {
+            const bool level = i < 64 ? ((value >> i) & 1) : false;
+            bits_[i].observe(level, dt);
+        }
+    }
+
+    double
+    zeroProbability(unsigned bit) const
+    {
+        return bits_.at(bit).zeroProbability();
+    }
+
+    const DutyCycleCounter &counter(unsigned bit) const
+    {
+        return bits_.at(bit);
+    }
+
+    void
+    merge(const ScalarBitBiasTracker &other)
+    {
+        for (unsigned i = 0; i < width(); ++i)
+            bits_[i].merge(other.bits_[i]);
+    }
+
+  private:
+    std::vector<DutyCycleCounter> bits_;
+};
+
+/** Exact equality of every observable, integer and double. */
+void
+expectEqual(const BitBiasTracker &sliced,
+            const ScalarBitBiasTracker &scalar)
+{
+    ASSERT_EQ(sliced.width(), scalar.width());
+    for (unsigned b = 0; b < sliced.width(); ++b) {
+        EXPECT_EQ(sliced.zeroTime(b), scalar.counter(b).zeroTime())
+            << "bit " << b;
+        EXPECT_EQ(sliced.counter(b).totalTime(),
+                  scalar.counter(b).totalTime())
+            << "bit " << b;
+        // Bit-identical doubles, not just near.
+        EXPECT_EQ(sliced.zeroProbability(b),
+                  scalar.zeroProbability(b))
+            << "bit " << b;
+    }
+}
+
+BitWord
+randomWord(Rng &rng, unsigned width)
+{
+    // Mix of densities: all-zero, sparse, dense, full random.
+    const int kind = static_cast<int>(rng.nextInt(4));
+    std::uint64_t lo = rng();
+    std::uint64_t hi = rng();
+    if (kind == 0) {
+        lo = hi = 0;
+    } else if (kind == 1) {
+        lo &= rng();
+        lo &= rng();
+        hi &= rng();
+        hi &= rng();
+    } else if (kind == 2) {
+        lo |= rng();
+        hi |= rng();
+    }
+    return BitWord(width, lo, hi);
+}
+
+std::uint64_t
+randomDt(Rng &rng)
+{
+    switch (rng.nextInt(8)) {
+      case 0:
+      case 1:
+      case 2:
+        return 1; // the hot case
+      case 3:
+        return rng.nextInt(8);         // includes dt = 0
+      case 4:
+        return 1 + rng.nextInt(1000);  // typical residences
+      case 5:
+        return 65534 + rng.nextInt(4); // plane-capacity boundary
+      case 6:
+        return 65536 + rng.nextInt(1 << 20); // beyond the planes
+      default:
+        return 1 + rng.nextInt(100);
+    }
+}
+
+TEST(SlicedDuty, MatchesScalarAcrossWidthsAndDts)
+{
+    for (unsigned width : {1u, 2u, 7u, 31u, 32u, 33u, 63u, 64u,
+                           65u, 80u, 127u, 128u}) {
+        Rng rng(0xd00d + width);
+        BitBiasTracker sliced(width);
+        ScalarBitBiasTracker scalar(width);
+        for (int step = 0; step < 2000; ++step) {
+            const std::uint64_t dt = randomDt(rng);
+            if (rng.nextBool(0.5)) {
+                const BitWord v = randomWord(rng, width);
+                sliced.observe(v, dt);
+                scalar.observe(v, dt);
+            } else {
+                const Word v = rng();
+                sliced.observe(v, dt);
+                scalar.observe(v, dt);
+            }
+            // Interleaved reads force plane flushes mid-stream; the
+            // totals must not depend on when flushes happen.
+            if (rng.nextBool(0.05)) {
+                const unsigned bit =
+                    static_cast<unsigned>(rng.nextInt(width));
+                EXPECT_EQ(sliced.zeroProbability(bit),
+                          scalar.zeroProbability(bit));
+            }
+        }
+        expectEqual(sliced, scalar);
+    }
+}
+
+TEST(SlicedDuty, OverflowFlushBoundaryIsExact)
+{
+    // Drive the pending plane count exactly to, across, and far
+    // beyond the kPlaneCap = 65535 flush boundary.
+    for (std::uint64_t first : {65534ull, 65535ull, 65536ull}) {
+        BitBiasTracker sliced(4);
+        ScalarBitBiasTracker scalar(4);
+        const BitWord v(4, 0b0101);
+        const std::uint64_t dts[] = {first,    1,         1,
+                                     65535,    1ull << 40, 3};
+        for (const std::uint64_t dt : dts) {
+            sliced.observe(v, dt);
+            scalar.observe(v, dt);
+        }
+        expectEqual(sliced, scalar);
+    }
+}
+
+TEST(SlicedDuty, DtZeroIsANoop)
+{
+    BitBiasTracker sliced(16);
+    ScalarBitBiasTracker scalar(16);
+    sliced.observe(Word(0xabcd), 0);
+    scalar.observe(Word(0xabcd), 0);
+    expectEqual(sliced, scalar);
+    EXPECT_EQ(sliced.counter(3).totalTime(), 0u);
+    EXPECT_EQ(sliced.zeroProbability(3), 0.5);
+}
+
+TEST(SlicedDuty, WordObserveTreatsHighBitsAsZero)
+{
+    BitBiasTracker sliced(80);
+    ScalarBitBiasTracker scalar(80);
+    sliced.observe(~Word(0), 7);
+    scalar.observe(~Word(0), 7);
+    expectEqual(sliced, scalar);
+    EXPECT_EQ(sliced.zeroProbability(63), 0.0);
+    EXPECT_EQ(sliced.zeroProbability(64), 1.0);
+}
+
+TEST(SlicedDuty, MergeMatchesScalarAndIsOrderIndependent)
+{
+    for (unsigned width : {1u, 32u, 80u, 128u}) {
+        Rng rng(0xfeed + width);
+        BitBiasTracker a(width);
+        BitBiasTracker b(width);
+        ScalarBitBiasTracker sa(width);
+        ScalarBitBiasTracker sb(width);
+        for (int step = 0; step < 500; ++step) {
+            const BitWord v = randomWord(rng, width);
+            const std::uint64_t dt = randomDt(rng);
+            if (rng.nextBool(0.5)) {
+                a.observe(v, dt);
+                sa.observe(v, dt);
+            } else {
+                b.observe(v, dt);
+                sb.observe(v, dt);
+            }
+        }
+        // a+b and b+a must agree with the scalar merge exactly.
+        BitBiasTracker ab = a;
+        ab.merge(b);
+        BitBiasTracker ba = b;
+        ba.merge(a);
+        ScalarBitBiasTracker sab = sa;
+        sab.merge(sb);
+        expectEqual(ab, sab);
+        expectEqual(ba, sab);
+    }
+}
+
+TEST(SlicedDuty, ResetClearsEverything)
+{
+    BitBiasTracker t(32);
+    t.observe(Word(0x1234), 100);
+    t.observe(Word(0xffff), 65535); // leave pending plane state
+    t.reset();
+    for (unsigned b = 0; b < 32; ++b) {
+        EXPECT_EQ(t.zeroTime(b), 0u);
+        EXPECT_EQ(t.counter(b).totalTime(), 0u);
+        EXPECT_EQ(t.zeroProbability(b), 0.5);
+    }
+    // And it keeps accumulating correctly afterwards.
+    ScalarBitBiasTracker scalar(32);
+    t.observe(Word(0xf0f0), 9);
+    scalar.observe(Word(0xf0f0), 9);
+    expectEqual(t, scalar);
+}
+
+TEST(SlicedDuty, FromTimesRoundTrips)
+{
+    Rng rng(0xcafe);
+    BitBiasTracker t(24);
+    for (int i = 0; i < 100; ++i)
+        t.observe(randomWord(rng, 24), randomDt(rng));
+    std::vector<std::uint64_t> zeros(24);
+    for (unsigned b = 0; b < 24; ++b)
+        zeros[b] = t.zeroTime(b);
+    const BitBiasTracker copy = BitBiasTracker::fromTimes(
+        24, zeros.data(), t.totalTime());
+    for (unsigned b = 0; b < 24; ++b) {
+        EXPECT_EQ(copy.zeroTime(b), t.zeroTime(b));
+        EXPECT_EQ(copy.zeroProbability(b), t.zeroProbability(b));
+    }
+}
+
+// ------------------------------------------------- repair kernel
+
+/** Scalar reference of the per-bit repair switch, applied through
+ *  the public repairValue(); pins the mask-based recipe. */
+TEST(RepairKernel, MaskRecipeMatchesPerBitSwitch)
+{
+    const FieldLayout &layout = fieldLayout();
+    Scheduler sched{SchedulerConfig{}};
+
+    // Hand-craft decisions exercising every technique on the Imm
+    // field (16 bits, offset known from the layout).
+    std::vector<BitDecision> decisions(layout.totalBits());
+    const FieldSpec &imm = layout.spec(FieldId::Imm);
+    const Technique kinds[8] = {
+        Technique::All1,  Technique::All0, Technique::None,
+        Technique::Isv,   Technique::All1K, Technique::All0K,
+        Technique::Unprotectable, Technique::All1,
+    };
+    for (unsigned b = 0; b < imm.width; ++b) {
+        BitDecision d;
+        d.technique = kinds[b % 8];
+        d.k = (b % 3 == 0) ? 1.0 : 0.0; // duty generator extremes
+        decisions[imm.offset + b] = d;
+    }
+    sched.configureProtection(decisions);
+
+    const unsigned field = static_cast<unsigned>(FieldId::Imm);
+    const BitWord current(imm.width, 0xa5a5);
+
+    // Fresh scheduler: RINV is the inversion of zero = all ones.
+    for (const bool write_isv : {true, false}) {
+        // Scalar reference: replicate the per-bit switch with an
+        // independent generator bank in the same state.
+        std::vector<DutyGenerator> gens(layout.totalBits());
+        for (unsigned g = 0; g < decisions.size(); ++g)
+            gens[g].setK(decisions[g].k);
+
+        BitWord expected(imm.width);
+        for (unsigned b = 0; b < imm.width; ++b) {
+            const BitDecision &d = decisions[imm.offset + b];
+            bool v = current.bit(b);
+            switch (d.technique) {
+              case Technique::All1:
+                v = true;
+                break;
+              case Technique::All0:
+                v = false;
+                break;
+              case Technique::All1K:
+                v = gens[imm.offset + b].next();
+                break;
+              case Technique::All0K:
+                v = !gens[imm.offset + b].next();
+                break;
+              case Technique::Isv:
+                v = write_isv; // RINV is all ones here
+                break;
+              case Technique::None:
+              case Technique::Unprotectable:
+                break;
+            }
+            expected.setBit(b, v);
+        }
+
+        Scheduler fresh{SchedulerConfig{}};
+        fresh.configureProtection(decisions);
+        const BitWord got =
+            fresh.repairValue(field, current, write_isv);
+        EXPECT_EQ(got, expected) << "write_isv = " << write_isv;
+    }
+}
+
+/** Repeated repairs advance the K-duty generators exactly as the
+ *  per-bit loop would (ascending bit order, one next() per K bit
+ *  per repair). */
+TEST(RepairKernel, DutyGeneratorSequencingIsPreserved)
+{
+    const FieldLayout &layout = fieldLayout();
+    const FieldSpec &imm = layout.spec(FieldId::Imm);
+    std::vector<BitDecision> decisions(layout.totalBits());
+    for (unsigned b = 0; b < imm.width; ++b) {
+        BitDecision d;
+        d.technique =
+            (b % 2) ? Technique::All1K : Technique::All0K;
+        d.k = 0.37;
+        decisions[imm.offset + b] = d;
+    }
+
+    Scheduler sched{SchedulerConfig{}};
+    sched.configureProtection(decisions);
+    std::vector<DutyGenerator> gens(imm.width, DutyGenerator(0.37));
+
+    const BitWord current(imm.width, 0);
+    for (int round = 0; round < 50; ++round) {
+        BitWord expected(imm.width);
+        for (unsigned b = 0; b < imm.width; ++b) {
+            const bool one = (b % 2) ? gens[b].next()
+                                     : !gens[b].next();
+            expected.setBit(b, one);
+        }
+        const BitWord got = sched.repairValue(
+            static_cast<unsigned>(FieldId::Imm), current, false);
+        EXPECT_EQ(got, expected) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace penelope

@@ -74,6 +74,58 @@ TEST(ThreadPool, AtLeastOneWorker)
     EXPECT_TRUE(ran.load());
 }
 
+TEST(ThreadPool, MemberParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    // The pool is reusable across parallel regions (this is the
+    // persistent-pool property penelope_bench relies on).
+    std::atomic<int> sum{0};
+    pool.parallelFor(10, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, MemberParallelForPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 13)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // Still usable afterwards.
+    std::atomic<int> counter{0};
+    pool.parallelFor(5, [&](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ParallelFor, SharedPoolMatchesPerCallPool)
+{
+    ThreadPool pool(4);
+    for (unsigned jobs : {2u, 8u}) {
+        std::vector<std::atomic<int>> hits(500);
+        parallelFor(
+            hits.size(), jobs,
+            [&](std::size_t i) { ++hits[i]; }, &pool);
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+    }
+    // jobs <= 1 stays a strictly serial inline loop even with a
+    // pool attached.
+    std::vector<std::size_t> order;
+    parallelFor(
+        5, 1, [&](std::size_t i) { order.push_back(i); }, &pool);
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
 // ----------------------------------------------------- parallelFor
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)
@@ -290,6 +342,50 @@ TEST(JobsDeterminism, PerfLossAndCombinedCpi)
                 MechanismKind::LineDynamic60, MemTimingParams(),
                 0.05, jobs));
     }
+}
+
+TEST(JobsDeterminism, PersistentPoolMatchesPerCallPools)
+{
+    // The persistent worker pool must not change any statistic:
+    // serial, per-call-pool parallel, and shared-pool parallel runs
+    // of the same experiments are bit-identical.  This covers the
+    // sliced BitBiasTracker and the packed-slot scheduler kernels
+    // under merge.
+    const WorkloadSet workload;
+    ThreadPool pool(4);
+    ExperimentOptions pooled = tinyOptions(4);
+    pooled.pool = &pool;
+
+    const auto rf_serial =
+        runRegFileExperiment(workload, false, tinyOptions(1));
+    const auto rf_pooled =
+        runRegFileExperiment(workload, false, pooled);
+    EXPECT_EQ(rf_serial.baselineBias, rf_pooled.baselineBias);
+    EXPECT_EQ(rf_serial.isvBias, rf_pooled.isvBias);
+    EXPECT_EQ(rf_serial.isvStats.updatesApplied,
+              rf_pooled.isvStats.updatesApplied);
+
+    const auto sched_serial =
+        runSchedulerExperiment(workload, tinyOptions(1));
+    const auto sched_pooled =
+        runSchedulerExperiment(workload, pooled);
+    EXPECT_EQ(sched_serial.baselineBias, sched_pooled.baselineBias);
+    EXPECT_EQ(sched_serial.protectedBias,
+              sched_pooled.protectedBias);
+    EXPECT_EQ(sched_serial.occupancy, sched_pooled.occupancy);
+
+    const std::vector<unsigned> traces = workload.strided(97);
+    const PerfLossStats loss_serial = measurePerfLoss(
+        workload, traces, 2'000, CacheConfig(),
+        CacheConfig::tlb(128, 8), MechanismKind::LineFixed50, true,
+        MemTimingParams(), 0.05, 1);
+    const PerfLossStats loss_pooled = measurePerfLoss(
+        workload, traces, 2'000, CacheConfig(),
+        CacheConfig::tlb(128, 8), MechanismKind::LineFixed50, true,
+        MemTimingParams(), 0.05, 4, &pool);
+    EXPECT_EQ(loss_serial.meanLoss, loss_pooled.meanLoss);
+    EXPECT_EQ(loss_serial.meanInvertRatio,
+              loss_pooled.meanInvertRatio);
 }
 
 TEST(JobsDeterminism, SchedulerProfile)
