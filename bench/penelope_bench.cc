@@ -7,6 +7,20 @@
  *   penelope_bench table4 sec11 --full
  *   penelope_bench --all --jobs 4
  *
+ * Incremental re-runs and scale-out (see resultcache.hh):
+ *
+ *   penelope_bench --all --cache-dir .penelope-cache
+ *       first run simulates and fills the cache; re-runs with the
+ *       same options are near-instant and byte-identical.
+ *
+ *   penelope_bench --all --shard 0/2 --shard-out s0.bin
+ *   penelope_bench --all --shard 1/2 --shard-out s1.bin   # elsewhere
+ *   penelope_bench --all --merge s0.bin s1.bin
+ *       each shard simulates its slice of the trace set and writes
+ *       a merge-ready file of cache entries; --merge folds the
+ *       shard files into statistics bit-identical to an unsharded
+ *       run.
+ *
  * Replaces the thirteen per-figure benchmark binaries.  Option
  * values are validated (the old harness fed `--stride x` through
  * atoi and silently ran with stride 0).
@@ -21,6 +35,7 @@
 
 #include "common/threadpool.hh"
 #include "core/registry.hh"
+#include "core/resultcache.hh"
 
 using namespace penelope;
 
@@ -44,6 +59,25 @@ usage(std::ostream &os, int exit_code)
           "               statistics are identical for any N)\n"
           "  --full       full workload (stride 1) at paper-scale "
           "uop counts\n"
+          "  --cache-dir DIR\n"
+          "               content-addressed result cache: "
+          "per-trace results are looked\n"
+          "               up before simulating and stored after; "
+          "statistics (and stdout)\n"
+          "               are byte-identical with a cold cache, a "
+          "warm cache, or none\n"
+          "  --shard I/N  simulate only the I-th of N round-robin "
+          "slices of the trace\n"
+          "               set and write the results as a "
+          "merge-ready shard file\n"
+          "               (this run's own stdout is partial)\n"
+          "  --shard-out FILE\n"
+          "               shard file path (default "
+          "penelope_shard_I_of_N.bin)\n"
+          "  --merge F... import shard files (all remaining "
+          "arguments) and render the\n"
+          "               full statistics from them, bit-identical "
+          "to an unsharded run\n"
           "  --help       this message\n";
     return exit_code;
 }
@@ -89,6 +123,36 @@ parseCount(const char *flag, const char *text, std::uint64_t min,
     return true;
 }
 
+/** Parse "I/N" for --shard. */
+bool
+parseShard(const char *text, unsigned &index, unsigned &count)
+{
+    if (!text) {
+        std::cerr << "penelope_bench: --shard requires I/N\n";
+        return false;
+    }
+    const char *slash = std::strchr(text, '/');
+    if (!slash || slash == text || !slash[1]) {
+        std::cerr << "penelope_bench: --shard expects I/N, got '"
+                  << text << "'\n";
+        return false;
+    }
+    const std::string i_text(text, slash);
+    std::uint64_t i = 0;
+    std::uint64_t n = 0;
+    if (!parseCount("--shard", i_text.c_str(), 0, 530, i) ||
+        !parseCount("--shard", slash + 1, 1, 531, n))
+        return false;
+    if (i >= n) {
+        std::cerr << "penelope_bench: --shard index " << i
+                  << " out of range for " << n << " shards\n";
+        return false;
+    }
+    index = static_cast<unsigned>(i);
+    count = static_cast<unsigned>(n);
+    return true;
+}
+
 void
 listExperiments(std::ostream &os)
 {
@@ -115,9 +179,14 @@ main(int argc, char **argv)
     options.cacheUops = 40'000;
 
     std::vector<std::string> names;
+    std::vector<std::string> merge_files;
+    std::string cache_dir;
+    std::string shard_out;
     bool run_all = false;
     bool uops_set = false;
     bool full = false;
+    bool shard_mode = false;
+    bool merge_mode = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -154,6 +223,37 @@ main(int argc, char **argv)
             options.jobs = value == 0
                 ? defaultJobs()
                 : static_cast<unsigned>(value);
+        } else if (!std::strcmp(arg, "--cache-dir")) {
+            if (i + 1 >= argc) {
+                std::cerr << "penelope_bench: --cache-dir "
+                             "requires a path\n";
+                return 2;
+            }
+            cache_dir = argv[++i];
+        } else if (!std::strcmp(arg, "--shard")) {
+            if (!parseShard(i + 1 < argc ? argv[++i] : nullptr,
+                            options.shardIndex,
+                            options.shardCount))
+                return 2;
+            shard_mode = true;
+        } else if (!std::strcmp(arg, "--shard-out")) {
+            if (i + 1 >= argc) {
+                std::cerr << "penelope_bench: --shard-out "
+                             "requires a path\n";
+                return 2;
+            }
+            shard_out = argv[++i];
+        } else if (!std::strcmp(arg, "--merge")) {
+            // --merge consumes every remaining argument as a
+            // shard file (experiment names go before it).
+            if (i + 1 >= argc) {
+                std::cerr << "penelope_bench: --merge requires "
+                             "at least one shard file\n";
+                return 2;
+            }
+            while (++i < argc)
+                merge_files.push_back(argv[i]);
+            merge_mode = true;
         } else if (arg[0] == '-') {
             std::cerr << "penelope_bench: unknown option '" << arg
                       << "'\n";
@@ -201,6 +301,17 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (shard_mode && merge_mode) {
+        std::cerr << "penelope_bench: --shard and --merge are "
+                     "mutually exclusive\n";
+        return 2;
+    }
+    if (!shard_out.empty() && !shard_mode) {
+        std::cerr << "penelope_bench: --shard-out requires "
+                     "--shard I/N\n";
+        return 2;
+    }
+
     // One persistent worker pool for the whole run: every parallel
     // region of every experiment reuses it instead of spinning its
     // own (measurable for --all, which strings many small regions
@@ -211,11 +322,64 @@ main(int argc, char **argv)
         options.pool = &*pool;
     }
 
+    // The content-addressed result layer: disk-backed for
+    // --cache-dir, memory-backed for shard/merge runs (whose
+    // entries travel through shard files instead).  Without any of
+    // the three flags the run is cache-free, byte-identical to the
+    // cached paths by the resultcache.hh contract.
+    std::optional<ResultCache> cache;
+    if (!cache_dir.empty() || shard_mode || merge_mode) {
+        cache.emplace(cache_dir);
+        options.cache = &*cache;
+    }
+    for (const std::string &file : merge_files) {
+        if (!cache->importFrom(file)) {
+            // A missing/foreign shard file only costs recompute
+            // time; the merged statistics stay correct.
+            std::cerr << "penelope_bench: warning: could not "
+                         "import shard file '"
+                      << file << "' (entries will be "
+                                 "recomputed)\n";
+        }
+    }
+
     const WorkloadSet workload;
     for (const std::string &name : names) {
         const Experiment *experiment = registry.find(name);
         const ExperimentContext ctx{workload, options, std::cout};
         experiment->run(ctx);
+    }
+
+    if (shard_mode) {
+        if (shard_out.empty()) {
+            shard_out = "penelope_shard_" +
+                std::to_string(options.shardIndex) + "_of_" +
+                std::to_string(options.shardCount) + ".bin";
+        }
+        if (!cache->exportTo(shard_out)) {
+            std::cerr << "penelope_bench: failed to write shard "
+                         "file '"
+                      << shard_out << "'\n";
+            return 1;
+        }
+        std::cerr << "penelope_bench: wrote "
+                  << cache->size() << " entries to " << shard_out
+                  << " (merge with: penelope_bench ... --merge "
+                  << shard_out << " ...)\n";
+    }
+    if (cache) {
+        // Stats go to stderr: stdout must stay byte-identical
+        // across cold, warm, sharded and cache-free runs.
+        const ResultCache::Stats s = cache->stats();
+        std::cerr << "penelope_bench: result cache: " << s.hits
+                  << " hits, " << s.misses << " misses, "
+                  << s.stores << " stores";
+        if (s.decodeFailures || s.badRecords) {
+            std::cerr << ", " << s.decodeFailures
+                      << " undecodable payloads, " << s.badRecords
+                      << " bad records dropped";
+        }
+        std::cerr << "\n";
     }
     return 0;
 }

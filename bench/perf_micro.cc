@@ -19,6 +19,8 @@
 #include "cache/timing.hh"
 #include "common/threadpool.hh"
 #include "core/experiments.hh"
+#include "core/resultcache.hh"
+#include "core/serialize.hh"
 #include "nbti/rd_model.hh"
 #include "regfile/driver.hh"
 #include "scheduler/driver.hh"
@@ -259,6 +261,85 @@ BM_ParallelForPersistentPool(benchmark::State &state)
 BENCHMARK(BM_ParallelForPersistentPool)
     ->Arg(4)
     ->UseRealTime();
+
+void
+BM_ResultCacheKeyDigest(benchmark::State &state)
+{
+    // One full per-trace key: domain + a dozen typed fields.
+    for (auto _ : state) {
+        const Hash128 key = CacheKeyBuilder("bench-key")
+                                .u32(128)
+                                .u32(32)
+                                .u32(0)
+                                .u32(64)
+                                .b(false)
+                                .u32(64)
+                                .f64(0.92)
+                                .u64(0x4e60f11e)
+                                .b(true)
+                                .u64(40'000)
+                                .u64(0x123456789abcdef0ULL)
+                                .u32(42)
+                                .digest();
+        benchmark::DoNotOptimize(key);
+    }
+}
+BENCHMARK(BM_ResultCacheKeyDigest);
+
+void
+BM_ResultCacheLookup(benchmark::State &state)
+{
+    // In-memory hit path including payload decode: the entire
+    // per-trace cost of a warm run (one SchedulerStress snapshot,
+    // the largest cached type).
+    Scheduler sched{SchedulerConfig{}};
+    SchedulerReplay replay(sched, SchedReplayConfig());
+    WorkloadSet workload;
+    TraceGenerator gen = workload.generator(0);
+    const SchedReplayResult r = replay.run(gen, 10'000);
+    ByteWriter writer;
+    encodeResult(writer, sched.snapshotStress(r.cycles));
+
+    ResultCache cache;
+    const Hash128 key = CacheKeyBuilder("bench").u32(1).digest();
+    cache.store(key, writer.view());
+
+    for (auto _ : state) {
+        std::string payload;
+        cache.lookup(key, payload);
+        ByteReader reader(payload);
+        SchedulerStress value;
+        decodeResult(reader, value);
+        benchmark::DoNotOptimize(value);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResultCacheLookup);
+
+void
+BM_ResultCacheStore(benchmark::State &state)
+{
+    // Encode + store of the same snapshot under rotating keys
+    // (memory-backed; disk append adds one buffered fwrite).
+    Scheduler sched{SchedulerConfig{}};
+    SchedulerReplay replay(sched, SchedReplayConfig());
+    WorkloadSet workload;
+    TraceGenerator gen = workload.generator(0);
+    const SchedReplayResult r = replay.run(gen, 10'000);
+    const SchedulerStress stress = sched.snapshotStress(r.cycles);
+
+    ResultCache cache;
+    std::uint32_t serial = 0;
+    for (auto _ : state) {
+        ByteWriter writer;
+        encodeResult(writer, stress);
+        cache.store(
+            CacheKeyBuilder("bench").u32(serial++).digest(),
+            writer.view());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResultCacheStore);
 
 } // namespace
 

@@ -4,25 +4,55 @@
 #include <cassert>
 
 #include "common/threadpool.hh"
+#include "core/engine.hh"
+#include "core/serialize.hh"
 
 namespace penelope {
 
 namespace {
 
-/** Outcome of one trace's baseline-vs-mechanism pair of runs. */
-struct TraceLoss
+/** Mix a cache-geometry description into a key (the name string is
+ *  deliberately excluded: it never affects simulation). */
+void
+keyCacheConfig(CacheKeyBuilder &key, const CacheConfig &config)
 {
-    double loss = 0.0;
-    double invertRatio = 0.0;
-    double normalizedCycles = 1.0;
-};
+    key.u32(config.sizeBytes)
+        .u32(config.ways)
+        .u32(config.lineBytes)
+        .u32(static_cast<std::uint32_t>(config.replacement))
+        .f64(config.writePortFreeProb);
+}
+
+/** Content hash of one trace's baseline-vs-mechanism pair. */
+Hash128
+memLossKey(const TraceSpec &spec, unsigned index,
+           std::size_t uops_per_trace,
+           const CacheConfig &dl0_config,
+           const CacheConfig &dtlb_config,
+           MechanismKind dl0_mechanism,
+           MechanismKind dtlb_mechanism,
+           const MemTimingParams &params, double time_scale)
+{
+    CacheKeyBuilder key("mem-loss");
+    key.u32(index).u64(spec.seed).u64(uops_per_trace);
+    keyCacheConfig(key, dl0_config);
+    keyCacheConfig(key, dtlb_config);
+    key.u32(static_cast<std::uint32_t>(dl0_mechanism))
+        .u32(static_cast<std::uint32_t>(dtlb_mechanism))
+        .f64(params.baseCpi)
+        .u32(params.dl0MissPenalty)
+        .u32(params.dtlbMissPenalty)
+        .f64(time_scale);
+    return key.digest();
+}
 
 /**
- * Run every trace's baseline and mechanism simulation on the pool.
- * Each index gets private MemTimingSim instances, so bodies share
- * nothing; results land in a slot per trace for ordered folding.
+ * Run every trace's baseline and mechanism simulation on the pool,
+ * consulting the result cache per trace.  Each index gets private
+ * MemTimingSim instances, so bodies share nothing; results land in
+ * a slot per trace for ordered folding.
  */
-std::vector<TraceLoss>
+std::vector<MemLossSample>
 simulateTraceLosses(const WorkloadSet &workload,
                     const std::vector<unsigned> &trace_indices,
                     std::size_t uops_per_trace,
@@ -30,34 +60,41 @@ simulateTraceLosses(const WorkloadSet &workload,
                     const CacheConfig &dtlb_config,
                     MechanismKind dl0_mechanism,
                     MechanismKind dtlb_mechanism,
-                    bool ratio_from_dl0,
                     const MemTimingParams &params,
                     double time_scale, unsigned jobs,
-                    ThreadPool *pool)
+                    ThreadPool *pool, ResultCache *cache)
 {
-    std::vector<TraceLoss> results(trace_indices.size());
-    const auto body = [&](std::size_t k) {
-        const unsigned index = trace_indices[k];
-        TraceGenerator base_gen = workload.generator(index);
-        MemTimingSim base(dl0_config, dtlb_config, params,
-                          MechanismKind::None, MechanismKind::None,
-                          time_scale);
-        const MemSimResult rb = base.run(base_gen, uops_per_trace);
+    const Engine engine(jobs, pool);
+    return engine.mapCached<MemLossSample>(
+        trace_indices, cache,
+        [&](unsigned index, std::size_t) {
+            return memLossKey(workload.spec(index), index,
+                              uops_per_trace, dl0_config,
+                              dtlb_config, dl0_mechanism,
+                              dtlb_mechanism, params, time_scale);
+        },
+        [&](unsigned index, std::size_t) {
+            TraceGenerator base_gen = workload.generator(index);
+            MemTimingSim base(dl0_config, dtlb_config, params,
+                              MechanismKind::None,
+                              MechanismKind::None, time_scale);
+            const MemSimResult rb =
+                base.run(base_gen, uops_per_trace);
 
-        TraceGenerator mech_gen = workload.generator(index);
-        MemTimingSim mech(dl0_config, dtlb_config, params,
-                          dl0_mechanism, dtlb_mechanism,
-                          time_scale);
-        const MemSimResult rm = mech.run(mech_gen, uops_per_trace);
+            TraceGenerator mech_gen = workload.generator(index);
+            MemTimingSim mech(dl0_config, dtlb_config, params,
+                              dl0_mechanism, dtlb_mechanism,
+                              time_scale);
+            const MemSimResult rm =
+                mech.run(mech_gen, uops_per_trace);
 
-        TraceLoss &r = results[k];
-        r.loss = rm.cycles / rb.cycles - 1.0;
-        r.invertRatio = ratio_from_dl0 ? rm.dl0AvgInvertRatio
-                                       : rm.dtlbAvgInvertRatio;
-        r.normalizedCycles = rm.cycles / rb.cycles;
-    };
-    parallelFor(trace_indices.size(), jobs, body, pool);
-    return results;
+            MemLossSample r;
+            r.loss = rm.cycles / rb.cycles - 1.0;
+            r.normalizedCycles = rm.cycles / rb.cycles;
+            r.dl0InvertRatio = rm.dl0AvgInvertRatio;
+            r.dtlbInvertRatio = rm.dtlbAvgInvertRatio;
+            return r;
+        });
 }
 
 } // namespace
@@ -174,7 +211,7 @@ measurePerfLoss(const WorkloadSet &workload,
                 const CacheConfig &dtlb_config,
                 MechanismKind mechanism, bool apply_to_dl0,
                 const MemTimingParams &params, double time_scale,
-                unsigned jobs, ThreadPool *pool)
+                unsigned jobs, ThreadPool *pool, ResultCache *cache)
 {
     PerfLossStats stats;
     RunningStats loss;
@@ -186,10 +223,11 @@ measurePerfLoss(const WorkloadSet &workload,
         dtlb_config,
         apply_to_dl0 ? mechanism : MechanismKind::None,
         apply_to_dl0 ? MechanismKind::None : mechanism,
-        apply_to_dl0, params, time_scale, jobs, pool);
-    for (const TraceLoss &r : results) {
+        params, time_scale, jobs, pool, cache);
+    for (const MemLossSample &r : results) {
         loss.add(r.loss);
-        ratio.add(r.invertRatio);
+        ratio.add(apply_to_dl0 ? r.dl0InvertRatio
+                               : r.dtlbInvertRatio);
         if (r.loss > 0.05)
             ++above5;
         if (r.loss > 0.10)
@@ -217,14 +255,14 @@ combinedNormalizedCpi(const WorkloadSet &workload,
                       MechanismKind mechanism,
                       const MemTimingParams &params,
                       double time_scale, unsigned jobs,
-                      ThreadPool *pool)
+                      ThreadPool *pool, ResultCache *cache)
 {
     RunningStats norm;
     const auto results = simulateTraceLosses(
         workload, trace_indices, uops_per_trace, dl0_config,
-        dtlb_config, mechanism, mechanism, true, params,
-        time_scale, jobs, pool);
-    for (const TraceLoss &r : results)
+        dtlb_config, mechanism, mechanism, params,
+        time_scale, jobs, pool, cache);
+    for (const MemLossSample &r : results)
         norm.add(r.normalizedCycles);
     return norm.mean();
 }

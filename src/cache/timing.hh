@@ -26,6 +26,7 @@
 namespace penelope {
 
 class ThreadPool;
+class ResultCache;
 
 /** Additive timing-model parameters. */
 struct MemTimingParams
@@ -102,6 +103,20 @@ class MemTimingSim
     Cache dtlb_;
 };
 
+/**
+ * Per-trace outcome of one baseline-vs-mechanism pair of runs: the
+ * unit the Table-3 folds consume and the result cache stores.  Both
+ * invert ratios are carried so the same cached entry serves a
+ * DL0-applied and a DTLB-applied fold alike.
+ */
+struct MemLossSample
+{
+    double loss = 0.0;            ///< relative cycle increase
+    double normalizedCycles = 1.0;
+    double dl0InvertRatio = 0.0;
+    double dtlbInvertRatio = 0.0;
+};
+
 /** Aggregated performance-loss statistics for Table 3. */
 struct PerfLossStats
 {
@@ -121,7 +136,8 @@ struct PerfLossStats
  * Traces are simulated concurrently on @p jobs workers (each trace
  * drives its own private cache pair) and per-trace losses are
  * folded in trace order, so the result is bit-identical for any
- * jobs value.
+ * jobs value.  With @p cache set, each per-trace MemLossSample is
+ * looked up by content hash before simulating and stored after.
  */
 PerfLossStats
 measurePerfLoss(const WorkloadSet &workload,
@@ -132,7 +148,8 @@ measurePerfLoss(const WorkloadSet &workload,
                 MechanismKind mechanism, bool apply_to_dl0,
                 const MemTimingParams &params = MemTimingParams(),
                 double time_scale = 0.1, unsigned jobs = 1,
-                ThreadPool *pool = nullptr);
+                ThreadPool *pool = nullptr,
+                ResultCache *cache = nullptr);
 
 /**
  * Combined normalised CPI with mechanisms on both DL0 and DTLB
@@ -149,7 +166,8 @@ combinedNormalizedCpi(const WorkloadSet &workload,
                       const MemTimingParams &params =
                           MemTimingParams(),
                       double time_scale = 0.1, unsigned jobs = 1,
-                      ThreadPool *pool = nullptr);
+                      ThreadPool *pool = nullptr,
+                      ResultCache *cache = nullptr);
 
 } // namespace penelope
 

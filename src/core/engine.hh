@@ -15,15 +15,26 @@
  *
  * Given 1-3, `--jobs N` produces bit-identical statistics to
  * `--jobs 1` for any N.
+ *
+ * mapCached() adds the content-addressed result layer on top: the
+ * per-trace slot is looked up in a ResultCache before simulating
+ * and stored after.  Because a key identifies the computation
+ * completely (see resultcache.hh) and a hit deserializes the exact
+ * bytes a previous identical computation produced, the trace-order
+ * merge -- and therefore every printed statistic -- is bit-identical
+ * with a cold cache, a warm cache, or no cache at all.
  */
 
 #ifndef PENELOPE_CORE_ENGINE_HH
 #define PENELOPE_CORE_ENGINE_HH
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/threadpool.hh"
+#include "core/resultcache.hh"
 
 namespace penelope {
 
@@ -59,6 +70,48 @@ class Engine
         parallelFor(
             items.size(), jobs_,
             [&](std::size_t k) { out[k] = fn(items[k], k); },
+            pool_);
+        return out;
+    }
+
+    /**
+     * map() with a content-addressed cache in front of fn.
+     *
+     * keyOf(item, slot) must return a Hash128 covering everything
+     * that determines fn's result (the ResultCache key contract);
+     * R must have encodeResult/decodeResult codecs (serialize.hh).
+     * On a hit the stored payload is decoded into the slot; a miss
+     * -- including a payload that fails to decode -- simulates and
+     * stores.  With a null cache this is exactly map().
+     */
+    template <class R, class Items, class KeyFn, class Fn>
+    std::vector<R>
+    mapCached(const Items &items, ResultCache *cache, KeyFn &&keyOf,
+              Fn &&fn) const
+    {
+        if (!cache)
+            return map<R>(items, std::forward<Fn>(fn));
+        std::vector<R> out(items.size());
+        parallelFor(
+            items.size(), jobs_,
+            [&](std::size_t k) {
+                const Hash128 key = keyOf(items[k], k);
+                std::string payload;
+                if (cache->lookup(key, payload)) {
+                    ByteReader reader(payload);
+                    R value{};
+                    if (decodeResult(reader, value) &&
+                        reader.atEnd()) {
+                        out[k] = std::move(value);
+                        return;
+                    }
+                    cache->noteDecodeFailure();
+                }
+                out[k] = fn(items[k], k);
+                ByteWriter writer;
+                encodeResult(writer, out[k]);
+                cache->store(key, writer.view());
+            },
             pool_);
         return out;
     }

@@ -5,17 +5,27 @@
 
 #include "adder/adder.hh"
 #include "core/engine.hh"
+#include "core/serialize.hh"
+#include "scheduler/profile.hh"
 
 namespace penelope {
 
 namespace {
 
-/** Evaluation subset of the workload. */
+/** The shardIndex-th round-robin slice of an evaluation set (the
+ *  `--shard i/N` unit of scale-out). */
 std::vector<unsigned>
-evalTraces(const WorkloadSet &workload,
+shardSlice(std::vector<unsigned> traces,
            const ExperimentOptions &options)
 {
-    return workload.strided(std::max(1u, options.traceStride));
+    if (options.shardCount <= 1)
+        return traces;
+    std::vector<unsigned> slice;
+    slice.reserve(traces.size() / options.shardCount + 1);
+    for (std::size_t k = options.shardIndex; k < traces.size();
+         k += options.shardCount)
+        slice.push_back(traces[k]);
+    return slice;
 }
 
 /** Per-trace shard of a register-file replay. */
@@ -25,6 +35,140 @@ struct RegFileShard
     double freeFraction = 0.0;
     IsvStats isv;
 };
+
+void
+encodeResult(ByteWriter &w, const RegFileShard &shard)
+{
+    encodeResult(w, shard.bias);
+    w.f64(shard.freeFraction);
+    encodeResult(w, shard.isv);
+}
+
+bool
+decodeResult(ByteReader &r, RegFileShard &shard)
+{
+    if (!decodeResult(r, shard.bias))
+        return false;
+    shard.freeFraction = r.f64();
+    return r.ok() && decodeResult(r, shard.isv);
+}
+
+/** Content hash of one trace's register-file replay. */
+Hash128
+regfileReplayKey(const RegFileConfig &rf_config,
+                 const RegReplayConfig &replay_config, bool isv,
+                 std::size_t uops_per_trace,
+                 std::uint64_t trace_seed, unsigned trace_index)
+{
+    CacheKeyBuilder key("regfile-replay");
+    key.u32(rf_config.numEntries)
+        .u32(rf_config.width)
+        .u32(rf_config.sampledEntry)
+        .u32(rf_config.rinvSampleInterval)
+        .b(replay_config.fp)
+        .u32(replay_config.commitDelay)
+        .f64(replay_config.portFreeProb)
+        .u64(replay_config.seed)
+        .b(isv)
+        .u64(uops_per_trace)
+        .u64(trace_seed)
+        .u32(trace_index);
+    return key.digest();
+}
+
+/** Mix a pipeline configuration into a key: every field that can
+ *  steer the simulation, including the nested structure configs. */
+void
+keyPipelineConfig(CacheKeyBuilder &key, const PipelineConfig &cfg)
+{
+    key.u32(cfg.allocWidth)
+        .u32(cfg.commitWidth)
+        .u32(cfg.robEntries)
+        .u32(cfg.rfWritePorts)
+        .u32(static_cast<std::uint32_t>(cfg.adderPolicy))
+        .f64(cfg.mispredictProb)
+        .u32(cfg.redirectPenalty)
+        .u32(cfg.loadHitLatency)
+        .u32(cfg.dl0MissPenalty)
+        .u32(cfg.dtlbMissPenalty)
+        .u32(cfg.sched.numEntries)
+        .u32(cfg.sched.isvSampleInterval);
+    for (const RegFileConfig *rf : {&cfg.intRf, &cfg.fpRf}) {
+        key.u32(rf->numEntries)
+            .u32(rf->width)
+            .u32(rf->sampledEntry)
+            .u32(rf->rinvSampleInterval);
+    }
+    for (const CacheConfig *cache : {&cfg.dl0, &cfg.dtlb}) {
+        key.u32(cache->sizeBytes)
+            .u32(cache->ways)
+            .u32(cache->lineBytes)
+            .u32(static_cast<std::uint32_t>(cache->replacement))
+            .f64(cache->writePortFreeProb);
+    }
+    key.u32(static_cast<std::uint32_t>(cfg.dl0Mechanism))
+        .u32(static_cast<std::uint32_t>(cfg.dtlbMechanism))
+        .f64(cfg.mechanismTimeScale)
+        .b(cfg.intRfIsv)
+        .b(cfg.fpRfIsv);
+}
+
+/** Content hash of one trace's full-pipeline run. */
+Hash128
+pipelineRunKey(const PipelineConfig &cfg,
+               std::size_t uops_per_trace,
+               std::uint64_t trace_seed, unsigned trace_index)
+{
+    CacheKeyBuilder key("pipeline-run");
+    keyPipelineConfig(key, cfg);
+    key.u64(uops_per_trace).u64(trace_seed).u32(trace_index);
+    return key.digest();
+}
+
+/** The paper's 100-trace profiling sample (never sharded). */
+std::vector<unsigned>
+profilingSample(const WorkloadSet &workload,
+                const ExperimentOptions &options)
+{
+    return workload.sampleIndices(
+        std::min(options.profilingTraces, workload.size() / 2),
+        0xbead);
+}
+
+} // namespace
+
+std::vector<unsigned>
+schedulerProfilingSubset(const WorkloadSet &workload,
+                         const ExperimentOptions &options)
+{
+    const auto profiling_set = profilingSample(workload, options);
+    std::vector<unsigned> subset;
+    for (std::size_t i = 0; i < profiling_set.size();
+         i += std::max<std::size_t>(1,
+                                    profiling_set.size() / 20)) {
+        subset.push_back(profiling_set[i]);
+    }
+    return subset;
+}
+
+std::vector<unsigned>
+evaluationTraces(const WorkloadSet &workload,
+                 const ExperimentOptions &options)
+{
+    return shardSlice(
+        workload.strided(std::max(1u, options.traceStride)),
+        options);
+}
+
+namespace {
+
+/** Short local alias used by the runners below. */
+std::vector<unsigned>
+evalTraces(const WorkloadSet &workload,
+           const ExperimentOptions &options)
+{
+    return evaluationTraces(workload, options);
+}
 
 } // namespace
 
@@ -47,16 +191,26 @@ runAdderExperiment(const WorkloadSet &workload,
 
     // Real-input aging: operands sampled across suites, one trace
     // per suite simulated in parallel, chunks concatenated in suite
-    // order.
+    // order.  (One trace per suite is cheap shared work, so it is
+    // never sharded; every shard stores identical entries.)
     const auto firsts = workload.firstPerSuite();
     const std::size_t per_suite =
         options.adderOperandSamples / std::max<std::size_t>(
             1, firsts.size());
-    const auto chunks = engine.map<std::vector<OperandSample>>(
-        firsts, [&](unsigned index, std::size_t) {
-            TraceGenerator gen = workload.generator(index);
-            return collectAdderOperands(gen, per_suite);
-        });
+    const auto chunks =
+        engine.mapCached<std::vector<OperandSample>>(
+            firsts, options.cache,
+            [&](unsigned index, std::size_t) {
+                CacheKeyBuilder key("adder-operands");
+                key.u64(per_suite)
+                    .u64(workload.spec(index).seed)
+                    .u32(index);
+                return key.digest();
+            },
+            [&](unsigned index, std::size_t) {
+                TraceGenerator gen = workload.generator(index);
+                return collectAdderOperands(gen, per_suite);
+            });
     std::vector<OperandSample> operands;
     for (const auto &chunk : chunks)
         operands.insert(operands.end(), chunk.begin(),
@@ -77,10 +231,16 @@ runAdderExperiment(const WorkloadSet &workload,
     // own Pipeline; per-trace stats fold in suite order.
     for (const auto policy : {AdderAllocationPolicy::Priority,
                               AdderAllocationPolicy::Uniform}) {
-        const auto shards = engine.map<PipelineStats>(
-            firsts, [&](unsigned index, std::size_t) {
-                PipelineConfig cfg;
-                cfg.adderPolicy = policy;
+        PipelineConfig cfg;
+        cfg.adderPolicy = policy;
+        const auto shards = engine.mapCached<PipelineStats>(
+            firsts, options.cache,
+            [&](unsigned index, std::size_t) {
+                return pipelineRunKey(
+                    cfg, options.uopsPerTrace / 4,
+                    workload.spec(index).seed, index);
+            },
+            [&](unsigned index, std::size_t) {
                 Pipeline pipe(cfg);
                 TraceGenerator gen = workload.generator(index);
                 return pipe.run(gen, options.uopsPerTrace / 4);
@@ -141,8 +301,15 @@ runRegFileExperiment(const WorkloadSet &workload, bool fp,
     for (const bool isv : {false, true}) {
         // Every trace ages its own register file; the per-bit duty
         // times merge in trace order into the aggregate bias.
-        const auto shards = engine.map<RegFileShard>(
-            traces, [&](unsigned index, std::size_t) {
+        const auto shards = engine.mapCached<RegFileShard>(
+            traces, options.cache,
+            [&](unsigned index, std::size_t) {
+                return regfileReplayKey(
+                    rf_config, replay_config, isv,
+                    options.uopsPerTrace,
+                    workload.spec(index).seed, index);
+            },
+            [&](unsigned index, std::size_t) {
                 RegisterFile rf(rf_config);
                 rf.enableIsv(isv);
                 RegReplayConfig cfg = replay_config;
@@ -197,10 +364,9 @@ runSchedulerExperiment(const WorkloadSet &workload,
     const Engine engine(options.jobs, options.pool);
 
     // Paper methodology: profile K on 100 random traces...
-    const auto profiling_set = workload.sampleIndices(
-        std::min(options.profilingTraces, workload.size() / 2),
-        0xbead);
-    // ...then evaluate on the remaining traces (subsetted).
+    const auto profiling_set = profilingSample(workload, options);
+    // ...then evaluate on the remaining traces (subsetted, and
+    // sharded when this process runs one slice of a scale-out).
     std::vector<unsigned> eval_set;
     {
         const auto complement = workload.complement(profiling_set);
@@ -208,26 +374,35 @@ runSchedulerExperiment(const WorkloadSet &workload,
              i += std::max(1u, options.traceStride)) {
             eval_set.push_back(complement[i]);
         }
+        eval_set = shardSlice(std::move(eval_set), options);
     }
 
     // Profiling uses a shorter run per trace: K only needs the
     // aggregate occupancy/bias statistics.
-    std::vector<unsigned> profile_subset;
-    for (std::size_t i = 0; i < profiling_set.size();
-         i += std::max<std::size_t>(1, profiling_set.size() / 20)) {
-        profile_subset.push_back(profiling_set[i]);
-    }
+    const auto profile_subset =
+        schedulerProfilingSubset(workload, options);
     const SchedulerProfile profile = profileScheduler(
         workload, profile_subset, options.uopsPerTrace / 2,
         SchedulerConfig(), SchedReplayConfig(), options.jobs,
-        options.pool);
+        options.pool, options.cache);
     const auto decisions = decideProtection(profile.bits);
     result.techniques = summarizeDecisions(decisions);
 
+    const std::vector<BitDecision> no_decisions;
     for (const bool protect : {false, true}) {
         const SchedReplayConfig replay_config;
-        const auto shards = engine.map<SchedulerStress>(
-            eval_set, [&](unsigned index, std::size_t) {
+        const auto shards = engine.mapCached<SchedulerStress>(
+            eval_set, options.cache,
+            [&](unsigned index, std::size_t) {
+                // The installed decisions are key material: a
+                // protected replay's statistics depend on them.
+                return schedulerReplayKey(
+                    SchedulerConfig(), replay_config,
+                    options.uopsPerTrace,
+                    protect ? decisions : no_decisions,
+                    workload.spec(index).seed, index);
+            },
+            [&](unsigned index, std::size_t) {
                 Scheduler sched{SchedulerConfig{}};
                 if (protect) {
                     sched.configureProtection(decisions);
@@ -323,7 +498,7 @@ runTable3Experiment(const WorkloadSet &workload,
                 workload, traces, options.cacheUops, dl0, dtlb,
                 mechanisms[m], !row.isTlb, params,
                 options.mechanismTimeScale, options.jobs,
-                options.pool);
+                options.pool, options.cache);
             row.loss[m] = stats.meanLoss;
             row.invertRatio[m] = stats.meanInvertRatio;
         }
@@ -352,12 +527,12 @@ buildProcessorSummary(const AdderExperimentResult &adder,
         workload, traces, options.cacheUops, CacheConfig(),
         CacheConfig::tlb(128, 8), MechanismKind::LineFixed50,
         MemTimingParams(), options.mechanismTimeScale,
-        options.jobs, options.pool);
+        options.jobs, options.pool, options.cache);
     summary.combinedCpiDynamic = combinedNormalizedCpi(
         workload, traces, options.cacheUops, CacheConfig(),
         CacheConfig::tlb(128, 8), MechanismKind::LineDynamic60,
         MemTimingParams(), options.mechanismTimeScale,
-        options.jobs, options.pool);
+        options.jobs, options.pool, options.cache);
 
     // Per-block costs.  TDP factors are the paper's stated
     // overheads: RINV+timestamps <1% (RF), RINV+counters <2%
@@ -409,9 +584,14 @@ runPipelineSurvey(const WorkloadSet &workload,
     cfg.adderPolicy = policy;
     const Engine engine(options.jobs, options.pool);
 
-    const auto shards = engine.map<PipelineStats>(
-        workload.firstPerSuite(), [&](unsigned index,
-                                      std::size_t) {
+    const auto shards = engine.mapCached<PipelineStats>(
+        workload.firstPerSuite(), options.cache,
+        [&](unsigned index, std::size_t) {
+            return pipelineRunKey(cfg, options.uopsPerTrace / 2,
+                                  workload.spec(index).seed,
+                                  index);
+        },
+        [&](unsigned index, std::size_t) {
             Pipeline pipe(cfg);
             TraceGenerator gen = workload.generator(index);
             return pipe.run(gen, options.uopsPerTrace / 2);

@@ -29,6 +29,7 @@
 namespace penelope {
 
 class ThreadPool;
+class ResultCache;
 
 /** Experiment sizing knobs. */
 struct ExperimentOptions
@@ -52,6 +53,27 @@ struct ExperimentOptions
      */
     ThreadPool *pool = nullptr;
 
+    /**
+     * Optional content-addressed result cache (not owned).  Every
+     * runner looks each per-trace result up by content hash before
+     * simulating and stores it after; statistics are bit-identical
+     * with or without a cache (see resultcache.hh).
+     */
+    ResultCache *cache = nullptr;
+
+    /**
+     * Suite-level scale-out: run only the shardIndex-th round-robin
+     * slice (of shardCount) of each evaluation trace set.  Cheap
+     * shared phases -- the scheduler profiling set and the
+     * one-trace-per-suite maps -- run unsharded on every shard so
+     * all shards derive identical protection decisions (and
+     * therefore identical cache keys).  A shard's own stdout is
+     * partial; `--merge` re-renders the full statistics from the
+     * shards' exported cache entries.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+
     /** Uops per trace for structure/bias experiments. */
     std::size_t uopsPerTrace = 40'000;
 
@@ -67,6 +89,16 @@ struct ExperimentOptions
     /** Scaling for mechanism warmup/test/period time constants. */
     double mechanismTimeScale = 0.05;
 };
+
+/**
+ * The evaluation subset of the workload: every traceStride-th
+ * trace, restricted to this process's `--shard` slice.  Every
+ * runner (and every ad-hoc catalog loop) draws its evaluation
+ * traces from here so sharding covers the whole catalog.
+ */
+std::vector<unsigned>
+evaluationTraces(const WorkloadSet &workload,
+                 const ExperimentOptions &options);
 
 // -------------------------------------------------------------- adder
 
@@ -120,6 +152,17 @@ runRegFileExperiment(const WorkloadSet &workload, bool fp,
                      const ExperimentOptions &options);
 
 // ---------------------------------------------------------- scheduler
+
+/**
+ * The paper-methodology profiling subset (drawn from the 100-trace
+ * profiling sample, never sharded).  Shared by the Figure-8 runner
+ * and the wearout-attack experiment so both derive identical
+ * protection decisions -- and therefore identical cache keys -- for
+ * the deployed configuration.
+ */
+std::vector<unsigned>
+schedulerProfilingSubset(const WorkloadSet &workload,
+                         const ExperimentOptions &options);
 
 /** Figure 8 results. */
 struct SchedulerExperimentResult

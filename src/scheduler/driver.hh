@@ -13,6 +13,8 @@
 #ifndef PENELOPE_SCHEDULER_DRIVER_HH
 #define PENELOPE_SCHEDULER_DRIVER_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -48,15 +50,97 @@ struct SchedReplayResult
     double occupancy = 0.0;
 };
 
-/** Replays a uop stream against a Scheduler. */
+/**
+ * Replays a uop stream against a Scheduler.
+ *
+ * The uop source is any type with a `Uop next()` member: the
+ * workload's TraceGenerator, or an adversarial source such as
+ * AttackTraceGenerator (trace/attack.hh).  Replay timing --
+ * arrivals, residences, port availability -- is drawn from the
+ * replay's own Rng either way, so two sources differ only in the
+ * uops they feed the slots.
+ */
 class SchedulerReplay
 {
   public:
     SchedulerReplay(Scheduler &scheduler,
                     const SchedReplayConfig &config);
 
-    SchedReplayResult run(TraceGenerator &gen,
-                          std::size_t num_uops);
+    template <class Gen>
+    SchedReplayResult
+    run(Gen &gen, std::size_t num_uops)
+    {
+        SchedReplayResult result;
+        std::optional<Uop> pending;
+        std::size_t consumed = 0;
+        Cycle now = clock_;
+        double &arrival_acc = arrivalAcc_;
+
+        while (consumed < num_uops) {
+            // Releases due this cycle.
+            for (unsigned e = 0; e < releaseAt_.size(); ++e) {
+                if (releaseAt_[e] != 0 && releaseAt_[e] <= now) {
+                    sched_.release(
+                        e, now,
+                        rng_.nextBool(config_.portFreeProb));
+                    releaseAt_[e] = 0;
+                    ++result.released;
+                }
+            }
+
+            // Arrivals.
+            arrival_acc += config_.arrivalRate;
+            bool stalled = false;
+            while (arrival_acc >= 1.0 && consumed < num_uops) {
+                Uop uop;
+                if (pending) {
+                    uop = *pending;
+                    pending.reset();
+                } else {
+                    uop = gen.next();
+                }
+                const int entry =
+                    sched_.allocate(uop, nextTags(uop), now);
+                if (entry < 0) {
+                    pending = uop;
+                    stalled = true;
+                    break;
+                }
+                arrival_acc -= 1.0;
+                ++consumed;
+                ++result.allocated;
+                const Cycle residence = 1 +
+                    rng_.nextGeometric(
+                        1.0 / config_.meanResidence);
+                releaseAt_[static_cast<unsigned>(entry)] =
+                    now + residence;
+            }
+            if (stalled) {
+                ++result.stallCycles;
+                // Cap the backlog so a long stall does not burst
+                // later.
+                arrival_acc = std::min(arrival_acc, 4.0);
+            }
+            ++now;
+        }
+
+        // Drain outstanding entries.
+        for (unsigned e = 0; e < releaseAt_.size(); ++e) {
+            if (releaseAt_[e] != 0) {
+                const Cycle at = std::max(now, releaseAt_[e]);
+                now = std::max(now, at);
+                sched_.release(
+                    e, at, rng_.nextBool(config_.portFreeProb));
+                releaseAt_[e] = 0;
+                ++result.released;
+            }
+        }
+
+        clock_ = now;
+        result.cycles = now;
+        result.occupancy = sched_.occupancy(now);
+        return result;
+    }
 
   private:
     RenameTags nextTags(const Uop &uop);

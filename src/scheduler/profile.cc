@@ -6,8 +6,35 @@
 #include <map>
 
 #include "common/threadpool.hh"
+#include "core/engine.hh"
+#include "core/serialize.hh"
 
 namespace penelope {
+
+Hash128
+schedulerReplayKey(const SchedulerConfig &sched_config,
+                   const SchedReplayConfig &replay_config,
+                   std::size_t uops_per_trace,
+                   const std::vector<BitDecision> &decisions,
+                   std::uint64_t trace_seed, unsigned trace_index)
+{
+    CacheKeyBuilder key("sched-replay");
+    key.u32(sched_config.numEntries)
+        .u32(sched_config.isvSampleInterval)
+        .f64(replay_config.arrivalRate)
+        .f64(replay_config.meanResidence)
+        .f64(replay_config.portFreeProb)
+        .u64(replay_config.seed)
+        .u64(uops_per_trace)
+        .u64(trace_seed)
+        .u32(trace_index);
+    key.u64(decisions.size());
+    for (const BitDecision &d : decisions) {
+        key.u32(static_cast<std::uint32_t>(d.technique))
+            .f64(d.k);
+    }
+    return key.digest();
+}
 
 SchedulerProfile
 profileScheduler(const WorkloadSet &workload,
@@ -15,21 +42,29 @@ profileScheduler(const WorkloadSet &workload,
                  std::size_t uops_per_trace,
                  const SchedulerConfig &sched_config,
                  const SchedReplayConfig &replay_config,
-                 unsigned jobs, ThreadPool *pool)
+                 unsigned jobs, ThreadPool *pool,
+                 ResultCache *cache)
 {
-    std::vector<SchedulerStress> shards(trace_indices.size());
-    const auto body = [&](std::size_t k) {
-        const unsigned index = trace_indices[k];
-        Scheduler sched(sched_config);
-        sched.enableProtection(false);
-        SchedReplayConfig cfg = replay_config;
-        cfg.seed = mixSeed(replay_config.seed, index);
-        SchedulerReplay replay(sched, cfg);
-        TraceGenerator gen = workload.generator(index);
-        const SchedReplayResult r = replay.run(gen, uops_per_trace);
-        shards[k] = sched.snapshotStress(r.cycles);
-    };
-    parallelFor(trace_indices.size(), jobs, body, pool);
+    const Engine engine(jobs, pool);
+    const std::vector<BitDecision> no_decisions;
+    const auto shards = engine.mapCached<SchedulerStress>(
+        trace_indices, cache,
+        [&](unsigned index, std::size_t) {
+            return schedulerReplayKey(
+                sched_config, replay_config, uops_per_trace,
+                no_decisions, workload.spec(index).seed, index);
+        },
+        [&](unsigned index, std::size_t) {
+            Scheduler sched(sched_config);
+            sched.enableProtection(false);
+            SchedReplayConfig cfg = replay_config;
+            cfg.seed = mixSeed(replay_config.seed, index);
+            SchedulerReplay replay(sched, cfg);
+            TraceGenerator gen = workload.generator(index);
+            const SchedReplayResult r =
+                replay.run(gen, uops_per_trace);
+            return sched.snapshotStress(r.cycles);
+        });
 
     SchedulerProfile profile;
     if (shards.empty())

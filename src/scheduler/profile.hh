@@ -22,6 +22,8 @@
 namespace penelope {
 
 class ThreadPool;
+struct Hash128;
+class ResultCache;
 
 /** Outcome of the profiling pass. */
 struct SchedulerProfile
@@ -31,13 +33,30 @@ struct SchedulerProfile
 };
 
 /**
+ * Content hash of one trace's scheduler replay: covers the
+ * scheduler and replay configuration, the uop budget, the installed
+ * protection decisions (empty = protection disabled) and the trace
+ * identity.  Shared by the profiling pass, the Figure-8 evaluation
+ * runs and the adversarial experiments so identical replays hit the
+ * same cache entry.
+ */
+Hash128
+schedulerReplayKey(const SchedulerConfig &sched_config,
+                   const SchedReplayConfig &replay_config,
+                   std::size_t uops_per_trace,
+                   const std::vector<BitDecision> &decisions,
+                   std::uint64_t trace_seed, unsigned trace_index);
+
+/**
  * Run @p trace_indices through an unprotected scheduler and collect
  * per-bit occupancy/bias profiles.
  *
  * Each trace drives its own Scheduler instance (seeded from the
  * replay seed and the trace index) on one of @p jobs workers; the
  * per-trace SchedulerStress snapshots are merged in trace order, so
- * the profile is bit-identical for any jobs value.
+ * the profile is bit-identical for any jobs value.  With @p cache
+ * set, per-trace snapshots are looked up by content hash before
+ * simulating and stored after.
  */
 SchedulerProfile
 profileScheduler(const WorkloadSet &workload,
@@ -48,7 +67,8 @@ profileScheduler(const WorkloadSet &workload,
                  const SchedReplayConfig &replay_config =
                      SchedReplayConfig(),
                  unsigned jobs = 1,
-                 ThreadPool *pool = nullptr);
+                 ThreadPool *pool = nullptr,
+                 ResultCache *cache = nullptr);
 
 /**
  * Derive per-bit protection decisions from a profile.

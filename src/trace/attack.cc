@@ -1,0 +1,43 @@
+#include "attack.hh"
+
+namespace penelope {
+
+Uop
+AttackTraceGenerator::next()
+{
+    Uop uop;
+    const bool branch = config_.branchPeriod != 0 &&
+        (count_ % config_.branchPeriod) ==
+            config_.branchPeriod - 1;
+    ++count_;
+
+    uop.cls = branch ? UopClass::Branch : UopClass::IntAlu;
+    uop.latency = config_.latency;
+    uop.port = config_.port;
+    uop.taken = branch && config_.taken;
+    uop.mobId = config_.mobId;
+    uop.tos = 0;
+    uop.flags = config_.flags;
+    uop.shift1 = false;
+    uop.shift2 = false;
+
+    // Rotate the architectural registers minimally so renaming
+    // stays plausible; the *values* are what the attack pins.
+    const std::uint8_t reg =
+        static_cast<std::uint8_t>(count_ % numArchIntRegs);
+    uop.dstReg = reg;
+    uop.srcReg1 = static_cast<std::uint8_t>(
+        (reg + 1) % numArchIntRegs);
+    uop.srcReg2 = static_cast<std::uint8_t>(
+        (reg + 2) % numArchIntRegs);
+
+    uop.srcVal1 = config_.dataValue;
+    uop.srcVal2 = config_.dataValue;
+    uop.imm = config_.imm;
+    uop.hasImm = true;
+    uop.dstVal = config_.dataValue;
+    uop.opcode = config_.opcode;
+    return uop;
+}
+
+} // namespace penelope

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Adversarial trace generation: the wearout-attack workload.
+ *
+ * Related work on targeted wearout attacks observes that a hostile
+ * instruction stream can pin chosen storage bits at one logic value
+ * for almost all of their lifetime, aging the corresponding PMOS
+ * devices far faster than any SPEC-like workload would.  This
+ * module synthesises such a stream against the Table-2 scheduler
+ * layout: every uop carries identical captured source data, an
+ * identical immediate and identical control state, so each targeted
+ * field stores the same value in every busy slot, cycle after
+ * cycle.  Combined with a dispatch rate high enough to keep the
+ * scheduler saturated, the targeted bits' duty cycles approach
+ * occupancy x 100%.
+ *
+ * The generator produces ordinary Uop records and plugs into the
+ * same SchedulerReplay (and the same parallel engine plumbing) as
+ * the workload traces: only the uop *content* is adversarial, so
+ * baseline-vs-attack comparisons isolate the data effect.
+ */
+
+#ifndef PENELOPE_TRACE_ATTACK_HH
+#define PENELOPE_TRACE_ATTACK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "uop.hh"
+
+namespace penelope {
+
+/** What the adversarial stream pins each targeted field to. */
+struct AttackConfig
+{
+    /** Value captured into both source-data fields (32 bits live in
+     *  the scheduler slot).  0 stresses the "0"-storing PMOS of
+     *  every data bit; ~0 stresses the complementary device. */
+    Word dataValue = 0;
+
+    /** Immediate pinned into the 16-bit Imm field. */
+    std::uint16_t imm = 0;
+
+    /** Constant control state (latency/port/MOB id/flags/opcode). */
+    std::uint8_t latency = 1;
+    std::uint8_t port = 0;
+    std::uint8_t mobId = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t opcode = 0;
+
+    /** Branch outcome for the periodic branch uops. */
+    bool taken = false;
+
+    /** Every n-th uop is a branch so the Taken bit sees live data
+     *  (0 disables branches entirely). */
+    unsigned branchPeriod = 8;
+};
+
+/**
+ * Deterministic adversarial uop stream (drop-in for TraceGenerator
+ * in any driver templated on the source's `Uop next()`).
+ */
+class AttackTraceGenerator
+{
+  public:
+    explicit AttackTraceGenerator(const AttackConfig &config)
+        : config_(config)
+    {
+    }
+
+    /** Produce the next adversarial uop. */
+    Uop next();
+
+    const AttackConfig &config() const { return config_; }
+
+  private:
+    AttackConfig config_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace penelope
+
+#endif // PENELOPE_TRACE_ATTACK_HH
