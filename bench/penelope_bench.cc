@@ -13,6 +13,12 @@
  *       first run simulates and fills the cache; re-runs with the
  *       same options are near-instant and byte-identical.
  *
+ *   penelope_bench --all --cache-dir .penelope-cache --cache-gc
+ *       same (warm) run, then compacts the store down to the
+ *       entries the run touched: entries keyed by a retired
+ *       kResultCacheSalt or an options mix that no longer occurs
+ *       are dropped (long-lived CI caches stay small).
+ *
  *   penelope_bench --all --shard 0/2 --shard-out s0.bin
  *   penelope_bench --all --shard 1/2 --shard-out s1.bin   # elsewhere
  *   penelope_bench --all --merge s0.bin s1.bin
@@ -66,6 +72,13 @@ usage(std::ostream &os, int exit_code)
           "statistics (and stdout)\n"
           "               are byte-identical with a cold cache, a "
           "warm cache, or none\n"
+          "  --cache-gc   after the run, compact the --cache-dir "
+          "store down to the\n"
+          "               entries this run touched (a warm run "
+          "touches every entry the\n"
+          "               current salt and options can produce, so "
+          "entries from retired\n"
+          "               salts or changed options are dropped)\n"
           "  --shard I/N  simulate only the I-th of N round-robin "
           "slices of the trace\n"
           "               set and write the results as a "
@@ -187,6 +200,7 @@ main(int argc, char **argv)
     bool full = false;
     bool shard_mode = false;
     bool merge_mode = false;
+    bool cache_gc = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -230,6 +244,8 @@ main(int argc, char **argv)
                 return 2;
             }
             cache_dir = argv[++i];
+        } else if (!std::strcmp(arg, "--cache-gc")) {
+            cache_gc = true;
         } else if (!std::strcmp(arg, "--shard")) {
             if (!parseShard(i + 1 < argc ? argv[++i] : nullptr,
                             options.shardIndex,
@@ -311,6 +327,20 @@ main(int argc, char **argv)
                      "--shard I/N\n";
         return 2;
     }
+    if (cache_gc && cache_dir.empty()) {
+        std::cerr << "penelope_bench: --cache-gc requires "
+                     "--cache-dir DIR\n";
+        return 2;
+    }
+    if (cache_gc && shard_mode) {
+        // A shard run only touches its own slice of the trace set;
+        // GC'ing on its liveness would wipe every other shard's
+        // entries from a shared store.
+        std::cerr << "penelope_bench: --cache-gc cannot be "
+                     "combined with --shard (a shard run touches "
+                     "only its slice)\n";
+        return 2;
+    }
 
     // One persistent worker pool for the whole run: every parallel
     // region of every experiment reuses it instead of spinning its
@@ -366,6 +396,21 @@ main(int argc, char **argv)
                   << cache->size() << " entries to " << shard_out
                   << " (merge with: penelope_bench ... --merge "
                   << shard_out << " ...)\n";
+    }
+    if (cache_gc) {
+        // The experiments above touched every entry the current
+        // salt/options can key; everything else is unreachable.
+        if (!run_all) {
+            std::cerr << "penelope_bench: cache-gc: note: "
+                         "liveness is THIS run's experiment "
+                         "selection; entries of experiments not "
+                         "run are dropped (use --all to keep the "
+                         "whole catalog warm)\n";
+        }
+        const std::size_t dropped = cache->compact();
+        std::cerr << "penelope_bench: cache-gc: kept "
+                  << cache->size() << " entries, dropped "
+                  << dropped << "\n";
     }
     if (cache) {
         // Stats go to stderr: stdout must stay byte-identical

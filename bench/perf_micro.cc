@@ -16,7 +16,9 @@
 #include <benchmark/benchmark.h>
 
 #include "adder/adder.hh"
+#include "adder/analysis.hh"
 #include "cache/timing.hh"
+#include "circuit/aging.hh"
 #include "common/threadpool.hh"
 #include "core/experiments.hh"
 #include "core/resultcache.hh"
@@ -46,6 +48,95 @@ BM_LadnerFischerEvaluate(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LadnerFischerEvaluate);
+
+/** The word-parallel netlist engine: 64 input vectors per pass.
+ *  items/s counts vectors, so the per-vector speedup over
+ *  BM_LadnerFischerEvaluate is the ratio of the two
+ *  items_per_second counters (the CI perf-smoke floor asserts
+ *  >= 10x). */
+void
+BM_NetlistEvaluateBatch(benchmark::State &state)
+{
+    LadnerFischerAdder adder(32);
+    Rng rng(1);
+    std::uint64_t a[64];
+    std::uint64_t b[64];
+    for (int i = 0; i < 64; ++i) {
+        a[i] = rng() & 0xffffffff;
+        b[i] = rng() & 0xffffffff;
+    }
+    const std::uint64_t cin_mask = rng();
+    std::vector<std::uint64_t> words;
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        adder.evaluateBatch(a, b, cin_mask, words);
+        acc += words.back();
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetlistEvaluateBatch);
+
+/** Scalar aging observe: one evaluated vector, one pass over the
+ *  per-net slots. */
+void
+BM_AgingObserve(benchmark::State &state)
+{
+    LadnerFischerAdder adder(32);
+    PmosAgingTracker tracker(adder.netlist());
+    std::vector<std::uint8_t> signals;
+    adder.netlist().evaluate(
+        adder.makeInputVector(0x12345678, 0x9abcdef0, false),
+        signals);
+    for (auto _ : state)
+        tracker.observe(signals);
+    benchmark::DoNotOptimize(tracker.zeroProb(0));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AgingObserve);
+
+/** Batched aging observe: 64 vectors charged per call as popcounts
+ *  of the complemented net lane words. */
+void
+BM_AgingObserveBatch(benchmark::State &state)
+{
+    LadnerFischerAdder adder(32);
+    PmosAgingTracker tracker(adder.netlist());
+    Rng rng(1);
+    std::uint64_t a[64];
+    std::uint64_t b[64];
+    for (int i = 0; i < 64; ++i) {
+        a[i] = rng() & 0xffffffff;
+        b[i] = rng() & 0xffffffff;
+    }
+    std::vector<std::uint64_t> words;
+    adder.evaluateBatch(a, b, rng(), words);
+    for (auto _ : state)
+        tracker.observeBatch(words.data(), ~std::uint64_t(0));
+    benchmark::DoNotOptimize(tracker.zeroProb(0));
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_AgingObserveBatch);
+
+/** End-to-end batched aging of real operand samples (the Figure-5
+ *  real-input path): transpose + netlist batch + popcount observe
+ *  per 64 samples. */
+void
+BM_AdderAgingPipeline(benchmark::State &state)
+{
+    WorkloadSet workload;
+    TraceGenerator gen = workload.generator(0);
+    const auto ops = collectAdderOperands(gen, 2048);
+    LadnerFischerAdder adder(32);
+    AdderAgingAnalysis analysis(adder,
+                                GuardbandModel::paperCalibrated());
+    for (auto _ : state) {
+        const auto probs = analysis.zeroProbsForOperands(ops);
+        benchmark::DoNotOptimize(probs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * ops.size());
+}
+BENCHMARK(BM_AdderAgingPipeline)->Unit(benchmark::kMicrosecond);
 
 void
 BM_TraceGeneration(benchmark::State &state)

@@ -1,6 +1,9 @@
 #include "adder.hh"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/bitword.hh"
 
 namespace penelope {
 
@@ -93,13 +96,58 @@ std::vector<bool>
 Adder::makeInputVector(std::uint64_t a, std::uint64_t b,
                        bool cin) const
 {
-    std::vector<bool> in(2 * width_ + 1);
+    std::vector<bool> in;
+    fillInputVector(in, a, b, cin);
+    return in;
+}
+
+void
+Adder::fillInputVector(std::vector<bool> &in, std::uint64_t a,
+                       std::uint64_t b, bool cin) const
+{
+    in.resize(2 * width_ + 1);
     for (unsigned i = 0; i < width_; ++i) {
         in[i] = (a >> i) & 1;
         in[width_ + i] = (b >> i) & 1;
     }
     in[2 * width_] = cin;
-    return in;
+}
+
+void
+Adder::evaluateBatch(const std::uint64_t a[64],
+                     const std::uint64_t b[64],
+                     std::uint64_t cin_mask,
+                     std::vector<std::uint64_t> &net_words) const
+{
+    inputWords_.resize(2 * width_ + 1);
+
+    // Lane packing: transpose the 64 operand rows so word i holds
+    // bit i of every operand (lane word of primary input a_i / b_i).
+    std::copy(a, a + 64, laneScratch_);
+    transpose64x64(laneScratch_);
+    std::copy(laneScratch_, laneScratch_ + width_,
+              inputWords_.begin());
+    std::copy(b, b + 64, laneScratch_);
+    transpose64x64(laneScratch_);
+    std::copy(laneScratch_, laneScratch_ + width_,
+              inputWords_.begin() + width_);
+    inputWords_[2 * width_] = cin_mask;
+
+    netlist_.evaluateBatch(inputWords_.data(), net_words);
+}
+
+void
+Adder::batchSums(const std::vector<std::uint64_t> &net_words,
+                 std::uint64_t sums[64],
+                 std::uint64_t *cout_mask) const
+{
+    for (unsigned i = 0; i < width_; ++i)
+        laneScratch_[i] = net_words[sum_[i]];
+    std::fill(laneScratch_ + width_, laneScratch_ + 64, 0);
+    transpose64x64(laneScratch_);
+    std::copy(laneScratch_, laneScratch_ + 64, sums);
+    if (cout_mask)
+        *cout_mask = net_words[cout_];
 }
 
 std::uint64_t

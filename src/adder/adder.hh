@@ -43,12 +43,39 @@ class Adder
                                       std::uint64_t b,
                                       bool cin) const;
 
+    /** makeInputVector into a caller-owned buffer (no per-call
+     *  allocation; @p in is resized once and reused). */
+    void fillInputVector(std::vector<bool> &in, std::uint64_t a,
+                         std::uint64_t b, bool cin) const;
+
     /**
      * Functionally evaluate the netlist.
      * @return sum (width bits); carry-out via @p cout if non-null.
      */
     std::uint64_t evaluate(std::uint64_t a, std::uint64_t b, bool cin,
                            bool *cout = nullptr) const;
+
+    /**
+     * Evaluate 64 operand triples in one netlist pass.  @p a and
+     * @p b each hold 64 operand values (lane v uses a[v], b[v] and
+     * bit v of @p cin_mask); pad unused lanes with zeros.  The
+     * operands are bit-transposed into per-input lane words and run
+     * through Netlist::evaluateBatch; @p net_words receives one
+     * lane word per net, ready for PmosAgingTracker::observeBatch
+     * or batchSums().
+     */
+    void evaluateBatch(const std::uint64_t a[64],
+                       const std::uint64_t b[64],
+                       std::uint64_t cin_mask,
+                       std::vector<std::uint64_t> &net_words) const;
+
+    /**
+     * Extract the 64 per-lane sums (and the carry-out lane mask)
+     * from a net-word array produced by evaluateBatch().
+     */
+    void batchSums(const std::vector<std::uint64_t> &net_words,
+                   std::uint64_t sums[64],
+                   std::uint64_t *cout_mask = nullptr) const;
 
     const std::vector<SignalId> &sumSignals() const { return sum_; }
     SignalId coutSignal() const { return cout_; }
@@ -67,6 +94,12 @@ class Adder
     std::vector<SignalId> sum_;
     SignalId cout_ = invalidSignal;
     mutable std::vector<std::uint8_t> scratch_;
+
+    /** Batch scratch: transpose blocks and assembled input lane
+     *  words (transpose64x64 is destructive, so operands are copied
+     *  here first). */
+    mutable std::uint64_t laneScratch_[64];
+    mutable std::vector<std::uint64_t> inputWords_;
 };
 
 /** 32-bit (or any width) Ladner-Fischer parallel-prefix adder. */

@@ -56,27 +56,82 @@ AdderAgingAnalysis::AdderAgingAnalysis(const Adder &adder,
 {
 }
 
-std::vector<double>
-AdderAgingAnalysis::zeroProbsForInput(unsigned index) const
+namespace {
+
+/** Operand triple of synthetic input @p index for @p adder. */
+void
+syntheticOperands(const Adder &adder, unsigned index,
+                  std::uint64_t &a, std::uint64_t &b, bool &cin)
 {
-    PmosAgingTracker tracker(adder_.netlist());
-    tracker.applyInput(syntheticVector(adder_, index));
+    assert(index < 8);
+    const SyntheticInput &in = syntheticInputs()[index];
+    const std::uint64_t ones = adder.width() >= 64
+        ? ~std::uint64_t(0)
+        : (std::uint64_t(1) << adder.width()) - 1;
+    a = in.inputA ? ones : 0;
+    b = in.inputB ? ones : 0;
+    cin = in.carryIn;
+}
+
+/** One batched pass over all eight synthetic inputs: lane l holds
+ *  the netlist under synthetic input l. */
+void
+evaluateSyntheticLanes(const Adder &adder,
+                       std::vector<std::uint64_t> &net_words)
+{
+    std::uint64_t a[64] = {};
+    std::uint64_t b[64] = {};
+    std::uint64_t cin_mask = 0;
+    for (unsigned l = 0; l < 8; ++l) {
+        bool cin = false;
+        syntheticOperands(adder, l, a[l], b[l], cin);
+        if (cin)
+            cin_mask |= std::uint64_t(1) << l;
+    }
+    adder.evaluateBatch(a, b, cin_mask, net_words);
+}
+
+std::vector<double>
+trackerProbs(const PmosAgingTracker &tracker)
+{
     std::vector<double> probs(tracker.numDevices());
     for (std::size_t i = 0; i < probs.size(); ++i)
         probs[i] = tracker.zeroProb(i);
     return probs;
 }
 
+} // namespace
+
+std::vector<double>
+AdderAgingAnalysis::zeroProbsForInput(unsigned index) const
+{
+    return zeroProbsForInputs({index});
+}
+
 std::vector<double>
 AdderAgingAnalysis::zeroProbsForPair(const InputPair &pair) const
 {
+    return zeroProbsForInputs({pair.first, pair.second});
+}
+
+std::vector<double>
+AdderAgingAnalysis::zeroProbsForInputs(
+    const std::vector<unsigned> &indices) const
+{
+    assert(!indices.empty() && indices.size() <= 64);
+    std::vector<std::uint64_t> words;
+    evaluateSyntheticLanes(adder_, words);
+    // Round-robin over the requested inputs: each occurrence
+    // selects its synthetic lane once (a repeated index charges its
+    // lane repeatedly, matching one applyInput per occurrence --
+    // observeBatch per occurrence keeps the integer sums identical).
     PmosAgingTracker tracker(adder_.netlist());
-    tracker.applyInput(syntheticVector(adder_, pair.first));
-    tracker.applyInput(syntheticVector(adder_, pair.second));
-    std::vector<double> probs(tracker.numDevices());
-    for (std::size_t i = 0; i < probs.size(); ++i)
-        probs[i] = tracker.zeroProb(i);
-    return probs;
+    for (unsigned index : indices) {
+        assert(index < 8);
+        tracker.observeBatch(words.data(),
+                             std::uint64_t(1) << index);
+    }
+    return trackerProbs(tracker);
 }
 
 std::vector<double>
@@ -84,21 +139,48 @@ AdderAgingAnalysis::zeroProbsForOperands(
     const std::vector<OperandSample> &ops) const
 {
     PmosAgingTracker tracker(adder_.netlist());
-    for (const auto &op : ops)
-        tracker.applyInput(
-            adder_.makeInputVector(op.a, op.b, op.cin));
-    std::vector<double> probs(tracker.numDevices());
-    for (std::size_t i = 0; i < probs.size(); ++i)
-        probs[i] = tracker.zeroProb(i);
-    return probs;
+    std::vector<std::uint64_t> words;
+    std::uint64_t a[64];
+    std::uint64_t b[64];
+    for (std::size_t begin = 0; begin < ops.size(); begin += 64) {
+        const std::size_t count =
+            std::min<std::size_t>(64, ops.size() - begin);
+        std::uint64_t cin_mask = 0;
+        for (std::size_t l = 0; l < count; ++l) {
+            const OperandSample &op = ops[begin + l];
+            a[l] = op.a;
+            b[l] = op.b;
+            if (op.cin)
+                cin_mask |= std::uint64_t(1) << l;
+        }
+        std::fill(a + count, a + 64, 0);
+        std::fill(b + count, b + 64, 0);
+        const std::uint64_t lane_mask = count == 64
+            ? ~std::uint64_t(0)
+            : (std::uint64_t(1) << count) - 1;
+        adder_.evaluateBatch(a, b, cin_mask, words);
+        tracker.observeBatch(words.data(), lane_mask);
+    }
+    return trackerProbs(tracker);
 }
 
 std::vector<PairSweepEntry>
 AdderAgingAnalysis::sweepPairs() const
 {
+    // One batched netlist pass covers all eight synthetic inputs;
+    // each pair then reduces its two lanes.  The per-pair counts
+    // (and therefore the Figure-4 fractions) are exactly those of
+    // 28 independent two-input trackers.
+    std::vector<std::uint64_t> words;
+    evaluateSyntheticLanes(adder_, words);
     std::vector<PairSweepEntry> entries;
+    PmosAgingTracker tracker(adder_.netlist());
     for (const InputPair &pair : allInputPairs()) {
-        const AgingSummary s = summarize(zeroProbsForPair(pair));
+        tracker.reset();
+        tracker.observeBatch(
+            words.data(), (std::uint64_t(1) << pair.first) |
+                (std::uint64_t(1) << pair.second));
+        const AgingSummary s = summarize(trackerProbs(tracker));
         entries.push_back({pair, s.narrowFullyStressedFraction});
     }
     return entries;

@@ -64,7 +64,17 @@ class AdderAgingAnalysis
      *  (each value is 0, 0.5 or 1). */
     std::vector<double> zeroProbsForPair(const InputPair &pair) const;
 
-    /** Per-device zero probability under real operand samples. */
+    /**
+     * Per-device zero probability under a round-robin rotation of
+     * arbitrary synthetic inputs (one lane each, evaluated in a
+     * single batched netlist pass).  zeroProbsForInput/-Pair are
+     * the one- and two-element forms.
+     */
+    std::vector<double>
+    zeroProbsForInputs(const std::vector<unsigned> &indices) const;
+
+    /** Per-device zero probability under real operand samples
+     *  (batched 64 samples per netlist pass). */
     std::vector<double>
     zeroProbsForOperands(const std::vector<OperandSample> &ops) const;
 

@@ -23,13 +23,22 @@ syntheticInputs()
 std::vector<bool>
 syntheticVector(const Adder &adder, unsigned index)
 {
+    std::vector<bool> in;
+    syntheticVector(adder, index, in);
+    return in;
+}
+
+void
+syntheticVector(const Adder &adder, unsigned index,
+                std::vector<bool> &in)
+{
     assert(index < 8);
-    const SyntheticInput &in = syntheticInputs()[index];
+    const SyntheticInput &s = syntheticInputs()[index];
     const std::uint64_t ones = adder.width() >= 64
         ? ~std::uint64_t(0)
         : (std::uint64_t(1) << adder.width()) - 1;
-    return adder.makeInputVector(in.inputA ? ones : 0,
-                                 in.inputB ? ones : 0, in.carryIn);
+    adder.fillInputVector(in, s.inputA ? ones : 0,
+                          s.inputB ? ones : 0, s.carryIn);
 }
 
 std::vector<InputPair>

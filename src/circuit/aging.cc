@@ -1,23 +1,57 @@
 #include "aging.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace penelope {
 
 PmosAgingTracker::PmosAgingTracker(const Netlist &netlist)
-    : netlist_(netlist), duty_(netlist.numPmos())
+    : netlist_(netlist)
 {
+    // Devices gated by the same net share one zero-time slot: they
+    // observe the same signal by construction, so the per-device
+    // counters of the scalar form were always duplicates.
+    const auto &devices = netlist.pmosDevices();
+    deviceSlot_.reserve(devices.size());
+    std::vector<std::uint32_t> net_slot(netlist.numSignals(),
+                                        ~std::uint32_t(0));
+    for (const PmosDevice &d : devices) {
+        std::uint32_t &slot = net_slot[d.gateSignal];
+        if (slot == ~std::uint32_t(0)) {
+            slot = static_cast<std::uint32_t>(slotNet_.size());
+            slotNet_.push_back(d.gateSignal);
+        }
+        deviceSlot_.push_back(slot);
+    }
+    slotZeroTime_.assign(slotNet_.size(), 0);
 }
 
 void
 PmosAgingTracker::observe(const std::vector<std::uint8_t> &signals,
                           std::uint64_t dt)
 {
-    const auto &devices = netlist_.pmosDevices();
-    assert(devices.size() == duty_.size());
-    for (std::size_t i = 0; i < devices.size(); ++i)
-        duty_[i].observe(signals[devices[i].gateSignal] != 0, dt);
+    for (std::size_t s = 0; s < slotNet_.size(); ++s) {
+        if (!signals[slotNet_[s]])
+            slotZeroTime_[s] += dt;
+    }
+    totalTime_ += dt;
+}
+
+void
+PmosAgingTracker::observeBatch(const std::uint64_t *net_words,
+                               std::uint64_t lane_mask,
+                               std::uint64_t dt)
+{
+    for (std::size_t s = 0; s < slotNet_.size(); ++s) {
+        slotZeroTime_[s] += static_cast<std::uint64_t>(std::popcount(
+                                ~net_words[slotNet_[s]] &
+                                lane_mask)) *
+            dt;
+    }
+    totalTime_ += static_cast<std::uint64_t>(
+                      std::popcount(lane_mask)) *
+        dt;
 }
 
 void
@@ -31,16 +65,20 @@ PmosAgingTracker::applyInput(const std::vector<bool> &input_values,
 double
 PmosAgingTracker::zeroProb(std::size_t i) const
 {
-    return duty_.at(i).zeroProbability();
+    if (totalTime_ == 0)
+        return 0.5;
+    return static_cast<double>(
+               slotZeroTime_[deviceSlot_.at(i)]) /
+        static_cast<double>(totalTime_);
 }
 
 AgingSummary
 PmosAgingTracker::summarize(const GuardbandModel &model,
                             double fully_stressed_threshold) const
 {
-    std::vector<double> probs(duty_.size());
-    for (std::size_t i = 0; i < duty_.size(); ++i)
-        probs[i] = duty_[i].zeroProbability();
+    std::vector<double> probs(deviceSlot_.size());
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        probs[i] = zeroProb(i);
     return summarizeZeroProbs(netlist_, probs, model,
                               fully_stressed_threshold);
 }
@@ -51,10 +89,10 @@ PmosAgingTracker::combinedZeroProbs(const PmosAgingTracker &other,
 {
     assert(&other.netlist_ == &netlist_);
     assert(self_weight >= 0.0 && self_weight <= 1.0);
-    std::vector<double> out(duty_.size());
-    for (std::size_t i = 0; i < duty_.size(); ++i) {
-        out[i] = self_weight * duty_[i].zeroProbability() +
-            (1.0 - self_weight) * other.duty_[i].zeroProbability();
+    std::vector<double> out(deviceSlot_.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = self_weight * zeroProb(i) +
+            (1.0 - self_weight) * other.zeroProb(i);
     }
     return out;
 }
@@ -98,8 +136,8 @@ PmosAgingTracker::summarizeZeroProbs(
 void
 PmosAgingTracker::reset()
 {
-    for (auto &d : duty_)
-        d.reset();
+    std::fill(slotZeroTime_.begin(), slotZeroTime_.end(), 0);
+    totalTime_ = 0;
 }
 
 } // namespace penelope

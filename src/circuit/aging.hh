@@ -7,6 +7,20 @@
  * for every PMOS device while the netlist processes input vectors,
  * and converts the result into per-device and per-block guardbands
  * through a GuardbandModel.
+ *
+ * Representation (word-parallel, the netlist-side sibling of the
+ * bit-sliced duty machinery in common/duty.hh): every observation
+ * covers every device for the same dt, so per-device total time is
+ * one shared scalar; and every device gated by the same net always
+ * observes the same value, so zero-time is stored once per distinct
+ * gate net, not once per device.  observeBatch() charges a whole
+ * 64-vector lane word in one step -- the zero-time of a net is
+ * popcount of its complemented lane word (masked to the valid
+ * lanes) -- so a batch costs a couple of word ops per *net* instead
+ * of 64 branchy updates per *device*.  Both paths add exactly the
+ * same integers, so every probability (and everything downstream:
+ * summaries, guardbands, experiment stdout) is bit-identical
+ * between scalar and batched accounting.
  */
 
 #ifndef PENELOPE_CIRCUIT_AGING_HH
@@ -15,7 +29,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/duty.hh"
 #include "nbti/guardband.hh"
 #include "netlist.hh"
 
@@ -58,6 +71,16 @@ class PmosAgingTracker
     void observe(const std::vector<std::uint8_t> &signals,
                  std::uint64_t dt = 1);
 
+    /**
+     * Account a batch of net lane words (as produced by
+     * Netlist::evaluateBatch): every lane selected by @p lane_mask
+     * contributes @p dt time units, exactly as one observe() per
+     * valid lane would.  Lanes outside the mask (padding of a
+     * partial batch) are ignored entirely.
+     */
+    void observeBatch(const std::uint64_t *net_words,
+                      std::uint64_t lane_mask, std::uint64_t dt = 1);
+
     /** Evaluate and observe an input vector in one step. */
     void applyInput(const std::vector<bool> &input_values,
                     std::uint64_t dt = 1);
@@ -65,7 +88,7 @@ class PmosAgingTracker
     /** Zero-signal probability of device @p i. */
     double zeroProb(std::size_t i) const;
 
-    std::size_t numDevices() const { return duty_.size(); }
+    std::size_t numDevices() const { return deviceSlot_.size(); }
 
     const Netlist &netlist() const { return netlist_; }
 
@@ -99,7 +122,18 @@ class PmosAgingTracker
 
   private:
     const Netlist &netlist_;
-    std::vector<DutyCycleCounter> duty_;
+
+    /** Per device: index into the shared per-net slot arrays. */
+    std::vector<std::uint32_t> deviceSlot_;
+
+    /** Per slot: the gate net whose lane word / scalar value feeds
+     *  it, and the accumulated zero-time. */
+    std::vector<SignalId> slotNet_;
+    std::vector<std::uint64_t> slotZeroTime_;
+
+    /** Shared total observed time (identical for every device). */
+    std::uint64_t totalTime_ = 0;
+
     mutable std::vector<std::uint8_t> scratch_;
 };
 

@@ -206,6 +206,110 @@ Netlist::evaluate(const std::vector<bool> &input_values,
 }
 
 void
+Netlist::evaluateBatch(const std::uint64_t *input_words,
+                       std::vector<std::uint64_t> &net_words) const
+{
+    assert(finalized_);
+    net_words.resize(producers_.size());
+    std::uint64_t *w = net_words.data();
+    for (const CompiledOp &op : ops_) {
+        switch (op.kind) {
+          case CompiledOp::Kind::Input:
+            w[op.out] = input_words[op.a];
+            break;
+          case CompiledOp::Kind::Const0:
+            w[op.out] = 0;
+            break;
+          case CompiledOp::Kind::Const1:
+            w[op.out] = ~std::uint64_t(0);
+            break;
+          case CompiledOp::Kind::Inv:
+            w[op.out] = ~w[op.a];
+            break;
+          case CompiledOp::Kind::Nand2:
+            w[op.out] = ~(w[op.a] & w[op.b]);
+            break;
+          case CompiledOp::Kind::Nor2:
+            w[op.out] = ~(w[op.a] | w[op.b]);
+            break;
+          case CompiledOp::Kind::NandK: {
+            std::uint64_t all = w[op.a] & w[op.b];
+            for (std::uint32_t e = 0; e < op.extraCount; ++e)
+                all &= w[extraFanins_[op.extra + e]];
+            w[op.out] = ~all;
+            break;
+          }
+          case CompiledOp::Kind::NorK: {
+            std::uint64_t any = w[op.a] | w[op.b];
+            for (std::uint32_t e = 0; e < op.extraCount; ++e)
+                any |= w[extraFanins_[op.extra + e]];
+            w[op.out] = ~any;
+            break;
+          }
+          case CompiledOp::Kind::TgPass:
+            w[op.out] = w[op.a] ^ w[op.b];
+            break;
+        }
+    }
+}
+
+void
+Netlist::compile()
+{
+    ops_.clear();
+    ops_.reserve(gates_.size());
+    extraFanins_.clear();
+    std::uint32_t next_input = 0;
+    for (const Gate &g : gates_) {
+        CompiledOp op;
+        op.out = g.output;
+        switch (g.type) {
+          case GateType::Input:
+            op.kind = CompiledOp::Kind::Input;
+            op.a = next_input++;
+            break;
+          case GateType::Const0:
+            op.kind = CompiledOp::Kind::Const0;
+            break;
+          case GateType::Const1:
+            op.kind = CompiledOp::Kind::Const1;
+            break;
+          case GateType::Inv:
+            op.kind = CompiledOp::Kind::Inv;
+            op.a = g.inputs[0];
+            break;
+          case GateType::Nand:
+          case GateType::Nor: {
+            const bool nand = g.type == GateType::Nand;
+            op.a = g.inputs[0];
+            op.b = g.inputs[1];
+            if (g.inputs.size() == 2) {
+                op.kind = nand ? CompiledOp::Kind::Nand2
+                               : CompiledOp::Kind::Nor2;
+            } else {
+                op.kind = nand ? CompiledOp::Kind::NandK
+                               : CompiledOp::Kind::NorK;
+                op.extra = static_cast<std::uint32_t>(
+                    extraFanins_.size());
+                op.extraCount = static_cast<std::uint32_t>(
+                    g.inputs.size() - 2);
+                extraFanins_.insert(extraFanins_.end(),
+                                    g.inputs.begin() + 2,
+                                    g.inputs.end());
+            }
+            break;
+          }
+          case GateType::TgPass:
+            op.kind = CompiledOp::Kind::TgPass;
+            op.a = g.inputs[0];
+            op.b = g.inputs[1];
+            break;
+        }
+        ops_.push_back(op);
+    }
+}
+
+void
 Netlist::finalize(unsigned wide_fanout)
 {
     fanout_.assign(producers_.size(), 0);
@@ -266,6 +370,7 @@ Netlist::finalize(unsigned wide_fanout)
         depth_ = std::max(depth_, d + 1);
     }
 
+    compile();
     finalized_ = true;
 }
 

@@ -15,6 +15,19 @@
  * with upsized (wide) devices.  Wide PMOS degrade far less under the
  * same stress (Section 4.3 / Xuan [19]), which the aging analysis
  * accounts for.
+ *
+ * Word-parallel evaluation: finalize() also compiles the gate list
+ * into a flat, topologically-ordered op stream (one fixed-size
+ * record per gate -- op kind, fanin slots, output slot -- with the
+ * common arities specialised, so the evaluator is a single switch
+ * over a contiguous array with no per-gate heap indirection and no
+ * `vector<bool>` proxy objects).  evaluateBatch() runs that stream
+ * over 64 input vectors at once: every net holds one `uint64_t`
+ * lane word whose bit v is the net's value under input vector v,
+ * and every INV/NAND/NOR/TgPass is a handful of bitwise word ops.
+ * Lane words are exact: bit v of every net equals what a scalar
+ * evaluate() of vector v would produce, which is what keeps the
+ * batched aging statistics bit-identical to the scalar ones.
  */
 
 #ifndef PENELOPE_CIRCUIT_NETLIST_HH
@@ -131,6 +144,20 @@ class Netlist
                   std::vector<std::uint8_t> &signals) const;
 
     /**
+     * Evaluate 64 input vectors at once (valid after finalize()).
+     * @p input_words holds one lane word per primary input, in
+     * creation order: bit v of word i is input i's value under
+     * vector v.  @p net_words is resized to numSignals(); bit v of
+     * net word s is exactly what evaluate() of vector v would leave
+     * in signals[s].  Unused lanes cost nothing extra and carry
+     * whatever the padded input bits imply (constant gates drive
+     * every lane); consumers mask them out (see
+     * PmosAgingTracker::observeBatch).
+     */
+    void evaluateBatch(const std::uint64_t *input_words,
+                       std::vector<std::uint64_t> &net_words) const;
+
+    /**
      * Finalise the netlist: derive fanout counts, assign width
      * classes (gates with output fanout >= @p wide_fanout become
      * wide) and extract the PMOS device list.  Must be called before
@@ -151,9 +178,44 @@ class Netlist
     unsigned depth() const { return depth_; }
 
   private:
+    /**
+     * One record of the compiled op stream.  The two-input forms of
+     * NAND/NOR (the overwhelming majority of the standard-cell
+     * decompositions) are specialised so the evaluator loop never
+     * touches the spill array for them; wider gates read their
+     * remaining fanins from extraFanins_[extra, extra + extraCount).
+     */
+    struct CompiledOp
+    {
+        enum class Kind : std::uint8_t
+        {
+            Input,  ///< a = input ordinal
+            Const0,
+            Const1,
+            Inv,    ///< out = ~a
+            Nand2,  ///< out = ~(a & b)
+            Nor2,   ///< out = ~(a | b)
+            NandK,  ///< out = ~(a & b & extras...)
+            NorK,   ///< out = ~(a | b | extras...)
+            TgPass, ///< out = a ^ b
+        };
+
+        Kind kind;
+        SignalId out;
+        SignalId a = 0;
+        SignalId b = 0;
+        std::uint32_t extra = 0;
+        std::uint32_t extraCount = 0;
+    };
+
     SignalId newSignal(std::uint32_t producer_gate);
 
+    /** Build ops_/extraFanins_ from gates_ (part of finalize()). */
+    void compile();
+
     std::vector<Gate> gates_;
+    std::vector<CompiledOp> ops_;
+    std::vector<SignalId> extraFanins_;
     /** Producing gate index for each signal. */
     std::vector<std::uint32_t> producers_;
     std::vector<SignalId> inputs_;

@@ -86,4 +86,21 @@ BitWord::toString() const
     return s;
 }
 
+void
+transpose64x64(std::uint64_t m[64])
+{
+    // Recursive block swap (Hacker's Delight 7-3, mirrored for
+    // LSB-first bit numbering): at step j the matrix is treated as
+    // 2x2 blocks of j x j bits and the off-diagonal blocks are
+    // exchanged, masked by mask.
+    std::uint64_t mask = 0x00000000ffffffffULL;
+    for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+        }
+    }
+}
+
 } // namespace penelope

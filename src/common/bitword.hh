@@ -66,6 +66,15 @@ class BitWord
     unsigned width_;
 };
 
+/**
+ * In-place 64x64 bit-matrix transpose: on return, bit r of word c
+ * equals what bit c of word r held on entry.  This is the lane
+ * packer of the batched netlist engine -- it turns 64 operand
+ * values (one value per row) into 64 lane words (one bit position
+ * per row), and back again for batched sum extraction.
+ */
+void transpose64x64(std::uint64_t m[64]);
+
 } // namespace penelope
 
 #endif // PENELOPE_COMMON_BITWORD_HH

@@ -174,25 +174,11 @@ evalTraces(const WorkloadSet &workload,
 
 // -------------------------------------------------------------- adder
 
-AdderExperimentResult
-runAdderExperiment(const WorkloadSet &workload,
-                   const ExperimentOptions &options)
+std::vector<OperandSample>
+collectWorkloadAdderOperands(const WorkloadSet &workload,
+                             const ExperimentOptions &options)
 {
-    AdderExperimentResult result;
     const Engine engine(options.jobs, options.pool);
-
-    LadnerFischerAdder adder(32);
-    const GuardbandModel model = GuardbandModel::paperCalibrated();
-    AdderAgingAnalysis analysis(adder, model);
-
-    // Figure 4: sweep the 28 synthetic input pairs.
-    result.pairSweep = analysis.sweepPairs();
-    result.bestPair = analysis.bestPair();
-
-    // Real-input aging: operands sampled across suites, one trace
-    // per suite simulated in parallel, chunks concatenated in suite
-    // order.  (One trace per suite is cheap shared work, so it is
-    // never sharded; every shard stores identical entries.)
     const auto firsts = workload.firstPerSuite();
     const std::size_t per_suite =
         options.adderOperandSamples / std::max<std::size_t>(
@@ -215,6 +201,28 @@ runAdderExperiment(const WorkloadSet &workload,
     for (const auto &chunk : chunks)
         operands.insert(operands.end(), chunk.begin(),
                         chunk.end());
+    return operands;
+}
+
+AdderExperimentResult
+runAdderExperiment(const WorkloadSet &workload,
+                   const ExperimentOptions &options)
+{
+    AdderExperimentResult result;
+    const Engine engine(options.jobs, options.pool);
+
+    LadnerFischerAdder adder(32);
+    const GuardbandModel model = GuardbandModel::paperCalibrated();
+    AdderAgingAnalysis analysis(adder, model);
+
+    // Figure 4: sweep the 28 synthetic input pairs.
+    result.pairSweep = analysis.sweepPairs();
+    result.bestPair = analysis.bestPair();
+
+    // Real-input aging: operands sampled across suites (cached,
+    // one trace per suite -- see collectWorkloadAdderOperands).
+    const auto operands =
+        collectWorkloadAdderOperands(workload, options);
     const auto real_probs = analysis.zeroProbsForOperands(operands);
     result.baselineGuardband =
         analysis.baselineGuardband(real_probs);
@@ -229,6 +237,7 @@ runAdderExperiment(const WorkloadSet &workload,
     // Adder utilisation from the pipeline, both policies, averaged
     // over one representative trace per suite.  Each trace runs its
     // own Pipeline; per-trace stats fold in suite order.
+    const auto firsts = workload.firstPerSuite();
     for (const auto policy : {AdderAllocationPolicy::Priority,
                               AdderAllocationPolicy::Uniform}) {
         PipelineConfig cfg;

@@ -131,6 +131,18 @@ AdderExperimentResult
 runAdderExperiment(const WorkloadSet &workload,
                    const ExperimentOptions &options);
 
+/**
+ * Workload-wide adder operand samples: one trace per suite,
+ * concatenated in suite order, cached under the "adder-operands"
+ * domain.  Shared by the Figure-5 runner and the wearout-attack
+ * experiment so both build identical cache keys (and warm runs
+ * share entries).  One-trace-per-suite is cheap shared work, so it
+ * is never sharded.
+ */
+std::vector<OperandSample>
+collectWorkloadAdderOperands(const WorkloadSet &workload,
+                             const ExperimentOptions &options);
+
 // ------------------------------------------------------ register file
 
 /** Figure 6 results for one register file. */

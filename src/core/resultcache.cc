@@ -284,8 +284,16 @@ parseRecords(std::string_view body, Sink &&sink,
 
 struct ResultCache::Stripe
 {
+    /** One cached payload plus its GC mark: an entry is live once
+     *  this process has looked it up or stored it (see compact()). */
+    struct Entry
+    {
+        std::string payload;
+        bool live = false;
+    };
+
     std::mutex mutex;
-    std::unordered_map<Hash128, std::string, Hash128Hasher> map;
+    std::unordered_map<Hash128, Entry, Hash128Hasher> map;
 
     /** Disk file consulted (or found unusable) already? */
     bool loaded = false;
@@ -361,8 +369,10 @@ ResultCache::ensureLoaded(unsigned index, Stripe &stripe)
                     body,
                     [&](const Hash128 &key,
                         std::string_view payload) {
-                        stripe.map.emplace(key,
-                                           std::string(payload));
+                        stripe.map.emplace(
+                            key,
+                            Stripe::Entry{std::string(payload),
+                                          false});
                     },
                     parsed_end);
                 if (parsed_end < body.size()) {
@@ -414,7 +424,8 @@ ResultCache::lookup(const Hash128 &key, std::string &payload)
             stripe);
         const auto it = stripe.map.find(key);
         if (it != stripe.map.end()) {
-            payload = it->second;
+            payload = it->second.payload;
+            it->second.live = true;
             hit = true;
         }
     }
@@ -435,10 +446,15 @@ ResultCache::store(const Hash128 &key, std::string_view payload)
         ensureLoaded(
             static_cast<unsigned>(&stripe - stripes_.data()),
             stripe);
-        const auto [it, inserted] =
-            stripe.map.emplace(key, std::string(payload));
-        if (!inserted)
-            return; // first write wins; same key = same payload
+        const auto [it, inserted] = stripe.map.emplace(
+            key, Stripe::Entry{std::string(payload), true});
+        if (!inserted) {
+            // First write wins; same key = same payload.  The
+            // attempt still proves the entry is reachable by the
+            // current configuration.
+            it->second.live = true;
+            return;
+        }
         if (stripe.append) {
             const std::string record = encodeRecord(key, payload);
             if (std::fwrite(record.data(), 1, record.size(),
@@ -470,8 +486,9 @@ ResultCache::exportTo(const std::string &path)
         Stripe &stripe = stripes_[i];
         std::lock_guard<std::mutex> lock(stripe.mutex);
         ensureLoaded(i, stripe);
-        for (const auto &[key, payload] : stripe.map) {
-            const std::string record = encodeRecord(key, payload);
+        for (const auto &[key, entry] : stripe.map) {
+            const std::string record =
+                encodeRecord(key, entry.payload);
             out.write(record.data(),
                       static_cast<std::streamsize>(record.size()));
         }
@@ -504,7 +521,8 @@ ResultCache::importFrom(const std::string &path)
             ensureLoaded(
                 static_cast<unsigned>(&stripe - stripes_.data()),
                 stripe);
-            stripe.map.emplace(key, std::string(payload));
+            stripe.map.emplace(
+                key, Stripe::Entry{std::string(payload), false});
         },
         parsed_end);
     if (dropped) {
@@ -512,6 +530,75 @@ ResultCache::importFrom(const std::string &path)
         stats_.badRecords += dropped;
     }
     return true;
+}
+
+std::size_t
+ResultCache::compact()
+{
+    std::size_t dropped = 0;
+    for (unsigned i = 0; i < kStripes; ++i) {
+        Stripe &stripe = stripes_[i];
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        ensureLoaded(i, stripe);
+
+        std::size_t stripe_dropped = 0;
+        for (auto it = stripe.map.begin();
+             it != stripe.map.end();) {
+            if (it->second.live) {
+                ++it;
+            } else {
+                it = stripe.map.erase(it);
+                ++stripe_dropped;
+            }
+        }
+        dropped += stripe_dropped;
+
+        // Rewrite the disk stripe down to the survivors.  A
+        // foreign/read-only stripe (append == nullptr after a load
+        // attempt) is left untouched: we never read its entries, so
+        // there is nothing of ours to compact there.
+        if (dir_.empty() || !stripe.append)
+            continue;
+        std::fclose(stripe.append);
+        stripe.append = nullptr;
+
+        const std::string path = stripePath(i);
+        const std::string tmp = path + ".gc";
+        bool rewritten = false;
+        {
+            std::ofstream out(tmp,
+                              std::ios::binary | std::ios::trunc);
+            if (out) {
+                const std::string header = fileHeader();
+                out.write(header.data(),
+                          static_cast<std::streamsize>(
+                              header.size()));
+                for (const auto &[key, entry] : stripe.map) {
+                    const std::string record =
+                        encodeRecord(key, entry.payload);
+                    out.write(record.data(),
+                              static_cast<std::streamsize>(
+                                  record.size()));
+                }
+                out.flush();
+                rewritten = static_cast<bool>(out);
+            }
+        }
+        std::error_code ec;
+        if (rewritten) {
+            std::filesystem::rename(tmp, path, ec);
+            if (ec)
+                rewritten = false;
+        }
+        if (!rewritten) {
+            // The original (uncompacted) file still holds every
+            // entry; drop the partial temp and keep appending to
+            // the original.  A later GC can retry.
+            std::filesystem::remove(tmp, ec);
+        }
+        stripe.append = std::fopen(path.c_str(), "ab");
+    }
+    return dropped;
 }
 
 std::size_t

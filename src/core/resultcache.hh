@@ -265,6 +265,33 @@ class ResultCache
      *  when the file cannot be opened or has a foreign header. */
     bool importFrom(const std::string &path);
 
+    /**
+     * Garbage-collect the store: drop every entry that has not
+     * been touched (looked up or stored) in this process, and
+     * compact the attached disk stripes down to the survivors.
+     *
+     * Keys are opaque content hashes -- a stale salt or option
+     * digest cannot be recognised from the key bits -- so liveness
+     * is established by replay: run the workload first (a warm run
+     * touches exactly the entries the current code and options can
+     * ever produce keys for; entries keyed by a retired salt or an
+     * options mix that no longer occurs are never looked up), then
+     * compact.  `penelope_bench --cache-gc` wraps exactly that
+     * sequence.  Returns the number of entries dropped.
+     *
+     * Two caveats follow from liveness-by-replay: (1) the kept set
+     * is what *this process* replayed -- GC after a partial
+     * workload (a subset of experiments, or a `--shard` slice)
+     * drops other workloads' still-valid entries, so compact a
+     * shared store only after the full workload; and (2) the
+     * stripe rewrite replaces files wholesale, so unlike the
+     * append-only store/lookup paths it must not run concurrently
+     * with other *writer processes* on the same directory (their
+     * in-flight appends would land in the replaced file).  GC is a
+     * maintenance pass; run it alone.
+     */
+    std::size_t compact();
+
     /** Number of entries currently in memory. */
     std::size_t size();
 

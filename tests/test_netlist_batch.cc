@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Property tests for the word-parallel netlist engine: evaluateBatch
+ * against scalar evaluate bit-for-bit on random netlists (every gate
+ * type, batch sizes 1..128 including partial final batches), batched
+ * adder sums against scalar sums, and batched-vs-scalar AgingSummary
+ * identity on the Figure-2 circuit and the Ladner-Fischer adder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adder/adder.hh"
+#include "adder/analysis.hh"
+#include "adder/idle_inputs.hh"
+#include "circuit/aging.hh"
+#include "circuit/netlist.hh"
+#include "common/bitword.hh"
+#include "common/rng.hh"
+#include "trace/workload.hh"
+
+namespace penelope {
+namespace {
+
+// ------------------------------------------------------ transpose
+
+TEST(Transpose64, MatchesNaiveGather)
+{
+    Rng rng(0x7a5);
+    std::uint64_t in[64];
+    std::uint64_t out[64];
+    for (int i = 0; i < 64; ++i)
+        in[i] = out[i] = rng();
+    transpose64x64(out);
+    for (unsigned r = 0; r < 64; ++r)
+        for (unsigned c = 0; c < 64; ++c)
+            ASSERT_EQ((in[r] >> c) & 1, (out[c] >> r) & 1)
+                << "row " << r << " col " << c;
+}
+
+TEST(Transpose64, InvolutionRestoresInput)
+{
+    Rng rng(0x7a6);
+    std::uint64_t in[64];
+    std::uint64_t m[64];
+    for (int i = 0; i < 64; ++i)
+        in[i] = m[i] = rng();
+    transpose64x64(m);
+    transpose64x64(m);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(m[i], in[i]);
+}
+
+// ------------------------------------------------- random netlists
+
+/**
+ * Build a random netlist exercising every builder (primitive and
+ * composite, so the compiled stream sees Inv, Nand2/NandK,
+ * Nor2/NorK, TgPass and constants).
+ */
+Netlist
+randomNetlist(Rng &rng, unsigned num_inputs, unsigned num_gates)
+{
+    Netlist n;
+    std::vector<SignalId> pool;
+    for (unsigned i = 0; i < num_inputs; ++i)
+        pool.push_back(n.addInput());
+    pool.push_back(n.addConst(false));
+    pool.push_back(n.addConst(true));
+
+    const auto pick = [&] {
+        return pool[rng.nextInt(
+            static_cast<std::uint32_t>(pool.size()))];
+    };
+    for (unsigned g = 0; g < num_gates; ++g) {
+        SignalId out = invalidSignal;
+        switch (rng.nextInt(10)) {
+          case 0:
+            out = n.addInv(pick());
+            break;
+          case 1:
+            out = n.addNand({pick(), pick()});
+            break;
+          case 2:
+            out = n.addNor({pick(), pick()});
+            break;
+          case 3: {
+            // Wide NAND/NOR: 3..5 fanins exercise the K-ary ops.
+            std::vector<SignalId> fanin;
+            const unsigned k = 3 + rng.nextInt(3);
+            for (unsigned i = 0; i < k; ++i)
+                fanin.push_back(pick());
+            out = rng.nextBool() ? n.addNand(fanin)
+                                 : n.addNor(fanin);
+            break;
+          }
+          case 4:
+            out = n.addAnd(pick(), pick());
+            break;
+          case 5:
+            out = n.addOr(pick(), pick());
+            break;
+          case 6:
+            out = n.addXor(pick(), pick());
+            break;
+          case 7:
+            out = n.addXnor(pick(), pick());
+            break;
+          case 8:
+            out = n.addMux(pick(), pick(), pick());
+            break;
+          default:
+            out = n.addTgXor(pick(), pick());
+            break;
+        }
+        pool.push_back(out);
+    }
+    n.finalize();
+    return n;
+}
+
+/** Scalar-vs-batch identity over @p num_vectors random vectors. */
+void
+checkBatchMatchesScalar(const Netlist &n, Rng &rng,
+                        std::size_t num_vectors)
+{
+    std::vector<std::vector<bool>> inputs(num_vectors);
+    for (auto &v : inputs) {
+        v.resize(n.numInputs());
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v[i] = rng.nextBool();
+    }
+
+    std::vector<std::uint8_t> scalar;
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint64_t> input_words(n.numInputs());
+    for (std::size_t begin = 0; begin < num_vectors; begin += 64) {
+        const std::size_t count =
+            std::min<std::size_t>(64, num_vectors - begin);
+        for (std::size_t i = 0; i < n.numInputs(); ++i) {
+            std::uint64_t w = 0;
+            for (std::size_t l = 0; l < count; ++l)
+                if (inputs[begin + l][i])
+                    w |= std::uint64_t(1) << l;
+            input_words[i] = w;
+        }
+        n.evaluateBatch(input_words.data(), words);
+        ASSERT_EQ(words.size(), n.numSignals());
+        for (std::size_t l = 0; l < count; ++l) {
+            n.evaluate(inputs[begin + l], scalar);
+            for (std::size_t s = 0; s < n.numSignals(); ++s) {
+                ASSERT_EQ((words[s] >> l) & 1, scalar[s])
+                    << "vector " << begin + l << " net " << s;
+            }
+        }
+    }
+}
+
+TEST(NetlistBatch, RandomNetlistsMatchScalar)
+{
+    Rng rng(0xba7c4);
+    for (int trial = 0; trial < 20; ++trial) {
+        const unsigned num_inputs = 1 + rng.nextInt(12);
+        const unsigned num_gates = 1 + rng.nextInt(60);
+        Netlist n = randomNetlist(rng, num_inputs, num_gates);
+        // Batch sizes spanning partial, exact and multi-word
+        // batches.
+        for (std::size_t vectors : {std::size_t(1), std::size_t(7),
+                                    std::size_t(64),
+                                    std::size_t(65),
+                                    std::size_t(128)}) {
+            checkBatchMatchesScalar(n, rng, vectors);
+        }
+    }
+}
+
+TEST(NetlistBatch, Figure2MatchesScalar)
+{
+    Netlist n;
+    buildFigure2Circuit(n);
+    n.finalize();
+    Rng rng(0xf19);
+    checkBatchMatchesScalar(n, rng, 100);
+}
+
+// ---------------------------------------------------- adder sums
+
+TEST(AdderBatch, SumsMatchScalarEvaluate)
+{
+    for (unsigned width : {1u, 8u, 13u, 32u, 48u, 64u}) {
+        LadnerFischerAdder adder(width);
+        const std::uint64_t mask = width >= 64
+            ? ~std::uint64_t(0)
+            : (std::uint64_t(1) << width) - 1;
+        Rng rng(width);
+        std::uint64_t a[64];
+        std::uint64_t b[64];
+        std::uint64_t cin_mask = 0;
+        for (int l = 0; l < 64; ++l) {
+            a[l] = rng() & mask;
+            b[l] = rng() & mask;
+            if (rng.nextBool())
+                cin_mask |= std::uint64_t(1) << l;
+        }
+        std::vector<std::uint64_t> words;
+        adder.evaluateBatch(a, b, cin_mask, words);
+        std::uint64_t sums[64];
+        std::uint64_t cout_mask = 0;
+        adder.batchSums(words, sums, &cout_mask);
+        for (int l = 0; l < 64; ++l) {
+            bool cout = false;
+            const std::uint64_t expect = adder.evaluate(
+                a[l], b[l], (cin_mask >> l) & 1, &cout);
+            EXPECT_EQ(sums[l], expect) << "lane " << l;
+            EXPECT_EQ((cout_mask >> l) & 1, cout ? 1u : 0u)
+                << "lane " << l;
+        }
+    }
+}
+
+TEST(AdderBatch, RippleAndKoggeStoneMatchToo)
+{
+    RippleCarryAdder rc(24);
+    KoggeStoneAdder ks(24);
+    for (Adder *adder : {static_cast<Adder *>(&rc),
+                         static_cast<Adder *>(&ks)}) {
+        Rng rng(0x5eed);
+        std::uint64_t a[64];
+        std::uint64_t b[64];
+        std::uint64_t cin_mask = rng();
+        for (int l = 0; l < 64; ++l) {
+            a[l] = rng() & 0xffffff;
+            b[l] = rng() & 0xffffff;
+        }
+        std::vector<std::uint64_t> words;
+        adder->evaluateBatch(a, b, cin_mask, words);
+        std::uint64_t sums[64];
+        adder->batchSums(words, sums);
+        for (int l = 0; l < 64; ++l) {
+            EXPECT_EQ(sums[l],
+                      adder->evaluate(a[l], b[l],
+                                      (cin_mask >> l) & 1));
+        }
+    }
+}
+
+// -------------------------------------------------- aging identity
+
+/** Exact equality of two summaries (all fields are derived from
+ *  integer counts, so batched == scalar must hold bit-for-bit). */
+void
+expectSummariesIdentical(const AgingSummary &x,
+                         const AgingSummary &y)
+{
+    EXPECT_EQ(x.worstNarrowZeroProb, y.worstNarrowZeroProb);
+    EXPECT_EQ(x.worstWideZeroProb, y.worstWideZeroProb);
+    EXPECT_EQ(x.narrowFullyStressedFraction,
+              y.narrowFullyStressedFraction);
+    EXPECT_EQ(x.guardband, y.guardband);
+    EXPECT_EQ(x.numDevices, y.numDevices);
+    EXPECT_EQ(x.numNarrow, y.numNarrow);
+    EXPECT_EQ(x.numWide, y.numWide);
+}
+
+TEST(AgingBatch, Figure2SummaryIdentity)
+{
+    Netlist n;
+    buildFigure2Circuit(n);
+    n.finalize();
+
+    Rng rng(0xa91);
+    const std::size_t num_vectors = 150; // 2 full + 1 partial batch
+    std::vector<std::vector<bool>> inputs(num_vectors);
+    for (auto &v : inputs)
+        v = {rng.nextBool(), rng.nextBool(), rng.nextBool()};
+
+    PmosAgingTracker scalar(n);
+    for (const auto &v : inputs)
+        scalar.applyInput(v);
+
+    PmosAgingTracker batched(n);
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint64_t> input_words(n.numInputs());
+    for (std::size_t begin = 0; begin < num_vectors; begin += 64) {
+        const std::size_t count =
+            std::min<std::size_t>(64, num_vectors - begin);
+        for (std::size_t i = 0; i < n.numInputs(); ++i) {
+            std::uint64_t w = 0;
+            for (std::size_t l = 0; l < count; ++l)
+                if (inputs[begin + l][i])
+                    w |= std::uint64_t(1) << l;
+            input_words[i] = w;
+        }
+        n.evaluateBatch(input_words.data(), words);
+        const std::uint64_t lane_mask = count == 64
+            ? ~std::uint64_t(0)
+            : (std::uint64_t(1) << count) - 1;
+        batched.observeBatch(words.data(), lane_mask);
+    }
+
+    ASSERT_EQ(scalar.numDevices(), batched.numDevices());
+    for (std::size_t i = 0; i < scalar.numDevices(); ++i)
+        EXPECT_EQ(scalar.zeroProb(i), batched.zeroProb(i));
+    const GuardbandModel model = GuardbandModel::paperCalibrated();
+    expectSummariesIdentical(scalar.summarize(model),
+                             batched.summarize(model));
+}
+
+TEST(AgingBatch, LadnerFischerOperandIdentity)
+{
+    // The Figure-5 real-input path: batched zeroProbsForOperands
+    // must equal one scalar applyInput per sample, bit for bit.
+    WorkloadSet workload;
+    TraceGenerator gen = workload.generator(2);
+    const auto ops = collectAdderOperands(gen, 333);
+    ASSERT_FALSE(ops.empty());
+
+    LadnerFischerAdder adder(32);
+    AdderAgingAnalysis analysis(adder,
+                                GuardbandModel::paperCalibrated());
+    const auto batched = analysis.zeroProbsForOperands(ops);
+
+    PmosAgingTracker scalar(adder.netlist());
+    std::vector<bool> in;
+    for (const auto &op : ops) {
+        adder.fillInputVector(in, op.a, op.b, op.cin);
+        scalar.applyInput(in);
+    }
+    ASSERT_EQ(batched.size(), scalar.numDevices());
+    for (std::size_t i = 0; i < batched.size(); ++i)
+        EXPECT_EQ(batched[i], scalar.zeroProb(i)) << "device " << i;
+}
+
+TEST(AgingBatch, SyntheticRotationIdentity)
+{
+    // zeroProbsForInput / -Pair / -Inputs against scalar
+    // round-robin applyInput.
+    LadnerFischerAdder adder(16);
+    AdderAgingAnalysis analysis(adder,
+                                GuardbandModel::paperCalibrated());
+    const std::vector<std::vector<unsigned>> rotations = {
+        {0}, {7}, {0, 7}, {2, 5}, {0, 7, 3, 4}};
+    for (const auto &rotation : rotations) {
+        const auto batched = analysis.zeroProbsForInputs(rotation);
+        PmosAgingTracker scalar(adder.netlist());
+        std::vector<bool> in;
+        for (unsigned index : rotation) {
+            syntheticVector(adder, index, in);
+            scalar.applyInput(in);
+        }
+        ASSERT_EQ(batched.size(), scalar.numDevices());
+        for (std::size_t i = 0; i < batched.size(); ++i)
+            EXPECT_EQ(batched[i], scalar.zeroProb(i));
+    }
+}
+
+TEST(AgingBatch, PairSweepMatchesScalarSweep)
+{
+    // The single-pass Figure-4 sweep equals 28 scalar two-input
+    // sweeps exactly.
+    LadnerFischerAdder adder(32);
+    const GuardbandModel model = GuardbandModel::paperCalibrated();
+    AdderAgingAnalysis analysis(adder, model);
+    const auto sweep = analysis.sweepPairs();
+    ASSERT_EQ(sweep.size(), 28u);
+    std::vector<bool> in;
+    for (const auto &entry : sweep) {
+        PmosAgingTracker scalar(adder.netlist());
+        syntheticVector(adder, entry.pair.first, in);
+        scalar.applyInput(in);
+        syntheticVector(adder, entry.pair.second, in);
+        scalar.applyInput(in);
+        const AgingSummary s = scalar.summarize(model);
+        EXPECT_EQ(entry.narrowFullyStressedFraction,
+                  s.narrowFullyStressedFraction)
+            << "pair " << pairLabel(entry.pair);
+    }
+}
+
+TEST(AgingBatch, ObserveBatchWithDt)
+{
+    // dt > 1 charges every valid lane dt units, like scalar
+    // observes with the same dt.
+    Netlist n;
+    const SignalId a = n.addInput();
+    n.addInv(a);
+    n.finalize();
+
+    PmosAgingTracker batched(n);
+    std::vector<std::uint64_t> words;
+    std::uint64_t zero = 0;
+    n.evaluateBatch(&zero, words); // input 0 in every lane
+    batched.observeBatch(words.data(), 0x7, 5); // 3 lanes, dt 5
+    std::uint64_t ones = ~std::uint64_t(0);
+    n.evaluateBatch(&ones, words);
+    batched.observeBatch(words.data(), 0x1, 5); // 1 lane, dt 5
+
+    PmosAgingTracker scalar(n);
+    for (int i = 0; i < 3; ++i)
+        scalar.applyInput({false}, 5);
+    scalar.applyInput({true}, 5);
+    EXPECT_EQ(batched.zeroProb(0), scalar.zeroProb(0));
+    EXPECT_EQ(batched.zeroProb(0), 0.75);
+}
+
+TEST(AgingBatch, PaddedLanesIgnored)
+{
+    // Garbage in lanes outside the mask must not leak into the
+    // statistics (constants drive every lane).
+    Netlist n;
+    const SignalId a = n.addInput();
+    const SignalId c1 = n.addConst(true);
+    n.addNand({a, c1});
+    n.addInv(a);
+    n.finalize();
+
+    std::vector<std::uint64_t> words;
+    const std::uint64_t in = 0x1; // lane 0 = 1, other lanes 0
+    n.evaluateBatch(&in, words);
+    PmosAgingTracker tracker(n);
+    tracker.observeBatch(words.data(), 0x1);
+    for (std::size_t i = 0; i < tracker.numDevices(); ++i) {
+        // Every gate input is 1 in the one valid lane.
+        EXPECT_EQ(tracker.zeroProb(i), 0.0) << "device " << i;
+    }
+}
+
+} // namespace
+} // namespace penelope

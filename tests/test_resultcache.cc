@@ -344,6 +344,89 @@ TEST(ResultCache, ExportImportMovesEntries)
     EXPECT_FALSE(dest.importFrom(file + ".does-not-exist"));
 }
 
+TEST(ResultCache, SaltUnchangedByBatchedNetlistEngine)
+{
+    // The PR that introduced the word-parallel netlist engine kept
+    // every statistic bit-identical to the scalar form, so the
+    // cache salt did NOT bump: stores written before it stay
+    // valid.  If a later change alters simulator behaviour, bump
+    // the salt and update this pin in the same commit.
+    EXPECT_EQ(kResultCacheSalt, "penelope-result-cache-v1");
+}
+
+TEST(ResultCache, CompactDropsUntouchedEntries)
+{
+    const std::string dir = tempDir("gc");
+    std::vector<Hash128> stale_keys;
+    std::vector<Hash128> live_keys;
+    for (std::uint32_t i = 0; i < 60; ++i)
+        stale_keys.push_back(
+            CacheKeyBuilder("old-salt").u32(i).digest());
+    for (std::uint32_t i = 0; i < 40; ++i)
+        live_keys.push_back(
+            CacheKeyBuilder("live").u32(i).digest());
+
+    // Populate a store with both generations.
+    {
+        ResultCache cache(dir);
+        for (std::uint32_t i = 0; i < 60; ++i)
+            cache.store(stale_keys[i], "stale-" +
+                            std::to_string(i));
+        for (std::uint32_t i = 0; i < 40; ++i)
+            cache.store(live_keys[i], "live-" +
+                            std::to_string(i));
+    }
+
+    // A later process looks up only the live generation (the warm
+    // run of the current configuration), then compacts.
+    {
+        ResultCache cache(dir);
+        std::string payload;
+        for (const Hash128 &key : live_keys)
+            ASSERT_TRUE(cache.lookup(key, payload));
+        EXPECT_EQ(cache.compact(), 60u);
+        EXPECT_EQ(cache.size(), 40u);
+    }
+
+    // The GC'd store still serves every live entry bit-identically
+    // and the stale generation is gone from disk.
+    ResultCache reopened(dir);
+    std::string payload;
+    for (std::uint32_t i = 0; i < 40; ++i) {
+        ASSERT_TRUE(reopened.lookup(live_keys[i], payload));
+        EXPECT_EQ(payload, "live-" + std::to_string(i));
+    }
+    for (const Hash128 &key : stale_keys)
+        EXPECT_FALSE(reopened.lookup(key, payload));
+
+    // Compacted stripes accept fresh appends.
+    const Hash128 fresh = CacheKeyBuilder("fresh").u32(7).digest();
+    reopened.store(fresh, "fresh-payload");
+    ResultCache again(dir);
+    ASSERT_TRUE(again.lookup(fresh, payload));
+    EXPECT_EQ(payload, "fresh-payload");
+}
+
+TEST(ResultCache, CompactKeepsFreshStoresAndMemoryOnlyWorks)
+{
+    // Entries stored in this process are live by definition.
+    ResultCache cache;
+    const Hash128 stored = CacheKeyBuilder("s").u32(1).digest();
+    cache.store(stored, "x");
+    EXPECT_EQ(cache.compact(), 0u);
+    std::string payload;
+    EXPECT_TRUE(cache.lookup(stored, payload));
+
+    // Imported-but-never-consulted entries are collectable.
+    const std::string file = tempDir("gc_mem") + "/entries.bin";
+    ASSERT_TRUE(cache.exportTo(file));
+    ResultCache dest;
+    ASSERT_TRUE(dest.importFrom(file));
+    EXPECT_EQ(dest.size(), 1u);
+    EXPECT_EQ(dest.compact(), 1u);
+    EXPECT_EQ(dest.size(), 0u);
+}
+
 TEST(ResultCache, CorruptTruncatedAndForeignFilesAreMisses)
 {
     const std::string dir = tempDir("corrupt");
@@ -512,6 +595,54 @@ TEST(CachedEngine, ChangedOptionsNeverPoisonResults)
                     ref_small);
     expectIdentical(runRegFileExperiment(workload, false, large),
                     ref_large);
+}
+
+TEST(CachedEngine, GcdStoreServesBitIdenticalWarmRuns)
+{
+    const WorkloadSet workload;
+    const std::string dir = tempDir("engine_gc");
+
+    ExperimentOptions options = fastOptions();
+    const RegFileExperimentResult uncached =
+        runRegFileExperiment(workload, false, options);
+
+    // Fill the store with the current options AND a stale
+    // generation (an options mix that will "no longer occur").
+    std::size_t entries_with_stale = 0;
+    {
+        ResultCache cache(dir);
+        ExperimentOptions stale = fastOptions();
+        stale.uopsPerTrace = 3'000;
+        stale.cache = &cache;
+        runRegFileExperiment(workload, false, stale);
+        options.cache = &cache;
+        runRegFileExperiment(workload, false, options);
+        entries_with_stale = cache.size();
+    }
+
+    // Warm run of only the current options, then GC.
+    std::size_t entries_after_gc = 0;
+    {
+        ResultCache cache(dir);
+        options.cache = &cache;
+        const RegFileExperimentResult warm =
+            runRegFileExperiment(workload, false, options);
+        expectIdentical(warm, uncached);
+        EXPECT_EQ(cache.stats().stores, 0u);
+        EXPECT_GT(cache.compact(), 0u);
+        entries_after_gc = cache.size();
+    }
+    EXPECT_LT(entries_after_gc, entries_with_stale);
+
+    // The GC'd store still serves a fully warm, bit-identical run.
+    ResultCache cache(dir);
+    options.cache = &cache;
+    const RegFileExperimentResult warm_after_gc =
+        runRegFileExperiment(workload, false, options);
+    expectIdentical(warm_after_gc, uncached);
+    EXPECT_EQ(cache.stats().stores, 0u);
+    EXPECT_GT(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().decodeFailures, 0u);
 }
 
 TEST(CachedEngine, CorruptDiskCacheReproducesColdRunExactly)
