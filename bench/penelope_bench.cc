@@ -27,11 +27,25 @@
  *       shard files into statistics bit-identical to an unsharded
  *       run.
  *
+ * Networked scale-out (see src/net/coordinator.hh): the same
+ * slices, assigned and collected over TCP instead of by hand.
+ *
+ *   penelope_bench --all --serve 9077 --workers-expected 2
+ *       carve the run into slices, serve them to connecting
+ *       workers, reassign the slices of workers that die, then
+ *       render the full statistics -- stdout is byte-identical to
+ *       an unsharded run.
+ *
+ *   penelope_bench --worker host:9077
+ *       connect to a coordinator and run assigned slices until
+ *       released (experiment names and options come from the wire).
+ *
  * Replaces the thirteen per-figure benchmark binaries.  Option
  * values are validated (the old harness fed `--stride x` through
  * atoi and silently ran with stride 0).
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -42,6 +56,9 @@
 #include "common/threadpool.hh"
 #include "core/registry.hh"
 #include "core/resultcache.hh"
+#include "core/shardplan.hh"
+#include "net/coordinator.hh"
+#include "net/worker.hh"
 
 using namespace penelope;
 
@@ -91,6 +108,41 @@ usage(std::ostream &os, int exit_code)
           "arguments) and render the\n"
           "               full statistics from them, bit-identical "
           "to an unsharded run\n"
+          "  --serve PORT\n"
+          "               coordinate a distributed run: carve the "
+          "experiments into\n"
+          "               slices, assign them to connecting "
+          "--worker processes,\n"
+          "               reassign the slices of workers that "
+          "disconnect or time out,\n"
+          "               then render the full statistics "
+          "(byte-identical to an\n"
+          "               unsharded run); port 0 picks an "
+          "ephemeral port (printed on\n"
+          "               stderr)\n"
+          "  --workers-expected N\n"
+          "               workers the operator will attach "
+          "(default 1; sizes the\n"
+          "               default slice carving; the run completes "
+          "with any number)\n"
+          "  --slices N   slice count for --serve (default "
+          "4x workers-expected,\n"
+          "               clamped to [workers-expected, 32])\n"
+          "  --slice-timeout SECONDS\n"
+          "               reassign a slice not completed within "
+          "this budget\n"
+          "               (default 600)\n"
+          "  --worker HOST:PORT\n"
+          "               run as a worker for the coordinator at "
+          "HOST:PORT\n"
+          "               (experiment names/options come from the "
+          "wire; local flags\n"
+          "               --jobs and --cache-dir still apply)\n"
+          "  --worker-abort-after N\n"
+          "               testing hook: drop the connection on "
+          "receiving the N-th\n"
+          "               assignment without replying (exercises "
+          "reassignment)\n"
           "  --help       this message\n";
     return exit_code;
 }
@@ -166,6 +218,31 @@ parseShard(const char *text, unsigned &index, unsigned &count)
     return true;
 }
 
+/** Parse "HOST:PORT" for --worker. */
+bool
+parseHostPort(const char *text, std::string &host,
+              std::uint16_t &port)
+{
+    if (!text || !*text) {
+        std::cerr
+            << "penelope_bench: --worker requires HOST:PORT\n";
+        return false;
+    }
+    const char *colon = std::strrchr(text, ':');
+    if (!colon || colon == text || !colon[1]) {
+        std::cerr << "penelope_bench: --worker expects HOST:PORT, "
+                     "got '"
+                  << text << "'\n";
+        return false;
+    }
+    std::uint64_t value = 0;
+    if (!parseCount("--worker", colon + 1, 1, 65535, value))
+        return false;
+    host.assign(text, colon);
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
 void
 listExperiments(std::ostream &os)
 {
@@ -201,6 +278,17 @@ main(int argc, char **argv)
     bool shard_mode = false;
     bool merge_mode = false;
     bool cache_gc = false;
+
+    bool serve_mode = false;
+    std::uint16_t serve_port = 0;
+    unsigned workers_expected = 1;
+    unsigned slices = 0; // 0 = derive from workers_expected
+    int slice_timeout_ms = 600'000;
+
+    bool worker_mode = false;
+    std::string worker_host;
+    std::uint16_t worker_port = 0;
+    unsigned worker_abort_after = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -259,6 +347,42 @@ main(int argc, char **argv)
                 return 2;
             }
             shard_out = argv[++i];
+        } else if (!std::strcmp(arg, "--serve")) {
+            if (!parseCount("--serve", i + 1 < argc ? argv[++i]
+                                                    : nullptr,
+                            0, 65535, value))
+                return 2;
+            serve_port = static_cast<std::uint16_t>(value);
+            serve_mode = true;
+        } else if (!std::strcmp(arg, "--workers-expected")) {
+            if (!parseCount("--workers-expected",
+                            i + 1 < argc ? argv[++i] : nullptr, 1,
+                            1024, value))
+                return 2;
+            workers_expected = static_cast<unsigned>(value);
+        } else if (!std::strcmp(arg, "--slices")) {
+            if (!parseCount("--slices", i + 1 < argc ? argv[++i]
+                                                     : nullptr,
+                            1, 531, value))
+                return 2;
+            slices = static_cast<unsigned>(value);
+        } else if (!std::strcmp(arg, "--slice-timeout")) {
+            if (!parseCount("--slice-timeout",
+                            i + 1 < argc ? argv[++i] : nullptr, 1,
+                            86'400, value))
+                return 2;
+            slice_timeout_ms = static_cast<int>(value) * 1000;
+        } else if (!std::strcmp(arg, "--worker")) {
+            if (!parseHostPort(i + 1 < argc ? argv[++i] : nullptr,
+                               worker_host, worker_port))
+                return 2;
+            worker_mode = true;
+        } else if (!std::strcmp(arg, "--worker-abort-after")) {
+            if (!parseCount("--worker-abort-after",
+                            i + 1 < argc ? argv[++i] : nullptr, 1,
+                            1'000, value))
+                return 2;
+            worker_abort_after = static_cast<unsigned>(value);
         } else if (!std::strcmp(arg, "--merge")) {
             // --merge consumes every remaining argument as a
             // shard file (experiment names go before it).
@@ -286,6 +410,49 @@ main(int argc, char **argv)
             options.uopsPerTrace = 200'000;
             options.cacheUops = 200'000;
         }
+    }
+
+    if (worker_mode) {
+        // A worker's run is defined entirely by the coordinator:
+        // local experiment selection or scale-out flags would be
+        // silently ignored, so reject them loudly instead.
+        if (!names.empty() || run_all || shard_mode ||
+            merge_mode || serve_mode || cache_gc) {
+            std::cerr << "penelope_bench: --worker takes no "
+                         "experiment names and cannot be combined "
+                         "with --all/--shard/--merge/--serve/"
+                         "--cache-gc (the coordinator decides the "
+                         "run)\n";
+            return 2;
+        }
+        std::optional<ThreadPool> worker_pool;
+        if (options.jobs > 1)
+            worker_pool.emplace(options.jobs);
+
+        net::WorkerConfig config;
+        config.host = worker_host;
+        config.port = worker_port;
+        config.jobs = options.jobs;
+        config.pool = worker_pool ? &*worker_pool : nullptr;
+        config.hostCpus = defaultJobs();
+        config.abortAfterAssignments = worker_abort_after;
+
+        // Disk-backed when --cache-dir is given: a restarted
+        // worker then answers re-assigned slices from its store.
+        ResultCache cache(cache_dir);
+        const WorkloadSet workload;
+        net::WorkerStats stats;
+        std::string error;
+        const net::WorkerOutcome outcome = net::runWorker(
+            config, workload, cache, &stats, &error);
+        std::cerr << "penelope_bench: worker: ran "
+                  << stats.slicesRun << " slices in "
+                  << stats.simSeconds << " s, sent "
+                  << stats.sentBytes << " entry bytes\n";
+        if (outcome == net::WorkerOutcome::Finished)
+            return 0;
+        std::cerr << "penelope_bench: worker: " << error << "\n";
+        return outcome == net::WorkerOutcome::Aborted ? 3 : 1;
     }
 
     const ExperimentRegistry &registry =
@@ -322,6 +489,12 @@ main(int argc, char **argv)
                      "mutually exclusive\n";
         return 2;
     }
+    if (serve_mode && (shard_mode || merge_mode || cache_gc)) {
+        std::cerr << "penelope_bench: --serve cannot be combined "
+                     "with --shard/--merge/--cache-gc (the "
+                     "coordinator carves and merges itself)\n";
+        return 2;
+    }
     if (!shard_out.empty() && !shard_mode) {
         std::cerr << "penelope_bench: --shard-out requires "
                      "--shard I/N\n";
@@ -342,6 +515,19 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // A shard run's statistic-steering options flow through the
+    // same ShardPlan the networked coordinator ships to workers:
+    // one definition of "slice i of N of this run" for the manual
+    // and the distributed path alike.
+    if (shard_mode) {
+        const ShardPlan plan = ShardPlan::fromOptions(
+            names, options, options.shardCount);
+        ExperimentOptions derived =
+            plan.sliceOptions(options.shardIndex);
+        derived.jobs = options.jobs;
+        options = derived;
+    }
+
     // One persistent worker pool for the whole run: every parallel
     // region of every experiment reuses it instead of spinning its
     // own (measurable for --all, which strings many small regions
@@ -353,12 +539,14 @@ main(int argc, char **argv)
     }
 
     // The content-addressed result layer: disk-backed for
-    // --cache-dir, memory-backed for shard/merge runs (whose
-    // entries travel through shard files instead).  Without any of
-    // the three flags the run is cache-free, byte-identical to the
-    // cached paths by the resultcache.hh contract.
+    // --cache-dir, memory-backed for shard/merge/serve runs (whose
+    // entries travel through shard files or the wire instead).
+    // Without any of the flags the run is cache-free,
+    // byte-identical to the cached paths by the resultcache.hh
+    // contract.
     std::optional<ResultCache> cache;
-    if (!cache_dir.empty() || shard_mode || merge_mode) {
+    if (!cache_dir.empty() || shard_mode || merge_mode ||
+        serve_mode) {
         cache.emplace(cache_dir);
         options.cache = &*cache;
     }
@@ -371,6 +559,62 @@ main(int argc, char **argv)
                       << file << "' (entries will be "
                                  "recomputed)\n";
         }
+    }
+
+    if (serve_mode) {
+        // Carve the run.  More slices than workers smooths load
+        // imbalance and shrinks the redo unit when a worker dies;
+        // 4x is plenty without inflating per-slice shared-phase
+        // overhead (workers cache shared phases across slices).
+        // Capped at the trace count's slice bound (531): a plan
+        // with more slices would fail every worker's validation.
+        if (slices == 0)
+            slices = std::min(4 * workers_expected, 32u);
+        slices = std::min(std::max(slices, workers_expected),
+                          531u);
+        const ShardPlan plan =
+            ShardPlan::fromOptions(names, options, slices);
+
+        net::CoordinatorConfig config;
+        config.port = serve_port;
+        config.workersExpected = workers_expected;
+        config.sliceTimeoutMs = slice_timeout_ms;
+        net::Coordinator coordinator(plan, *cache, config);
+        std::string error;
+        if (!coordinator.start(&error)) {
+            std::cerr << "penelope_bench: --serve: " << error
+                      << "\n";
+            return 1;
+        }
+        std::cerr << "penelope_bench: coordinator listening on "
+                     "port "
+                  << coordinator.port() << " (" << slices
+                  << " slices, expecting " << workers_expected
+                  << " workers; attach with: penelope_bench "
+                     "--worker <host>:"
+                  << coordinator.port() << ")\n";
+        coordinator.run();
+
+        const net::CoordinatorStats &cs = coordinator.stats();
+        std::cerr << "penelope_bench: coordinator: " << cs.slices
+                  << " slices done, " << cs.assignments
+                  << " assignments (" << cs.reassignments
+                  << " reassigned, " << cs.duplicateResults
+                  << " duplicate results), " << cs.workersSeen
+                  << " workers (host_cpus:";
+        for (std::uint32_t cpus : cs.workerCpus)
+            std::cerr << ' ' << cpus;
+        std::cerr << "), " << cs.resultBytes
+                  << " entry bytes received\n";
+        std::cerr << "penelope_bench: coordinator: wall "
+                  << cs.wallSeconds << " s, worker simulation "
+                  << cs.workerSimSeconds << " s, entry import "
+                  << cs.importSeconds
+                  << " s (local host_cpus: " << defaultJobs()
+                  << ")\n";
+        // Fall through: the render below draws every per-trace
+        // result from the collected entries (the --merge path), so
+        // stdout is byte-identical to an unsharded run.
     }
 
     const WorkloadSet workload;

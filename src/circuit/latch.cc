@@ -19,6 +19,13 @@ LatchBank::hold(Word value, std::uint64_t dt)
     bias_.observe(value, dt);
 }
 
+void
+LatchBank::holdBatch(const std::uint64_t *bit_words,
+                     std::uint64_t lane_mask, std::uint64_t dt)
+{
+    bias_.observeBatch(bit_words, lane_mask, dt);
+}
+
 double
 LatchBank::worstCaseStress() const
 {

@@ -472,49 +472,47 @@ ResultCache::store(const Hash128 &key, std::string_view payload)
     ++stats_.stores;
 }
 
-bool
-ResultCache::exportTo(const std::string &path)
+void
+ResultCache::exportToBytes(std::string &out)
 {
-    std::ofstream out(path,
-                      std::ios::binary | std::ios::trunc);
-    if (!out)
-        return false;
-    const std::string header = fileHeader();
-    out.write(header.data(),
-              static_cast<std::streamsize>(header.size()));
+    out = fileHeader();
     for (unsigned i = 0; i < kStripes; ++i) {
         Stripe &stripe = stripes_[i];
         std::lock_guard<std::mutex> lock(stripe.mutex);
         ensureLoaded(i, stripe);
-        for (const auto &[key, entry] : stripe.map) {
-            const std::string record =
-                encodeRecord(key, entry.payload);
-            out.write(record.data(),
-                      static_cast<std::streamsize>(record.size()));
-        }
+        for (const auto &[key, entry] : stripe.map)
+            out += encodeRecord(key, entry.payload);
     }
+}
+
+bool
+ResultCache::exportTo(const std::string &path)
+{
+    std::string bytes;
+    exportToBytes(bytes);
+    std::ofstream out(path,
+                      std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
     out.flush();
     return static_cast<bool>(out);
 }
 
 bool
-ResultCache::importFrom(const std::string &path)
+ResultCache::importFromBytes(std::string_view bytes)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::string contents((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
     const std::string header = fileHeader();
-    if (contents.size() < header.size() ||
-        contents.compare(0, header.size(), header) != 0) {
+    if (bytes.size() < header.size() ||
+        bytes.compare(0, header.size(), header) != 0) {
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.badRecords;
         return false;
     }
     std::size_t parsed_end = 0;
     const std::uint64_t dropped = parseRecords(
-        std::string_view(contents).substr(header.size()),
+        bytes.substr(header.size()),
         [&](const Hash128 &key, std::string_view payload) {
             Stripe &stripe = stripeFor(key);
             std::lock_guard<std::mutex> lock(stripe.mutex);
@@ -530,6 +528,18 @@ ResultCache::importFrom(const std::string &path)
         stats_.badRecords += dropped;
     }
     return true;
+}
+
+bool
+ResultCache::importFrom(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    const std::string contents(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return importFromBytes(contents);
 }
 
 std::size_t

@@ -265,6 +265,18 @@ class ResultCache
      *  when the file cannot be opened or has a foreign header. */
     bool importFrom(const std::string &path);
 
+    /** Serialize every in-memory entry into @p out in the shard
+     *  file format (header + records).  This is the merge-ready
+     *  byte stream `--shard` writes to disk and the networked
+     *  coordinator/worker protocol carries over the wire. */
+    void exportToBytes(std::string &out);
+
+    /** Import entries from a shard-format byte buffer: the memory
+     *  side of importFrom(), with the same contract (corrupt or
+     *  truncated tails dropped, duplicate keys deduplicated
+     *  first-write-wins, false only on a foreign header). */
+    bool importFromBytes(std::string_view bytes);
+
     /**
      * Garbage-collect the store: drop every entry that has not
      * been touched (looked up or stored) in this process, and

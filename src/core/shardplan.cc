@@ -1,0 +1,159 @@
+#include "shardplan.hh"
+
+#include <ostream>
+
+#include "core/registry.hh"
+
+namespace penelope {
+
+namespace {
+
+// Wire codec tag + version (serialize.hh conventions).
+constexpr std::uint8_t kShardPlanTag = 0x50;
+constexpr std::uint8_t kShardPlanVersion = 1;
+
+// Decode-side sanity bounds.  The workload has 531 traces, the
+// catalog has ~a dozen experiments; anything far outside is a
+// corrupt or hostile plan, not a configuration.
+constexpr std::uint64_t kMaxExperiments = 64;
+constexpr std::uint64_t kMaxNameLength = 64;
+constexpr std::uint64_t kMaxSlices = 531;
+constexpr std::uint64_t kMaxStride = 531;
+constexpr std::uint64_t kMaxUops = 1'000'000'000;
+constexpr std::uint64_t kMaxOperandSamples = 100'000'000;
+constexpr std::uint64_t kMaxProfilingTraces = 531;
+
+} // namespace
+
+ShardPlan
+ShardPlan::fromOptions(std::vector<std::string> names,
+                       const ExperimentOptions &options,
+                       unsigned slice_count)
+{
+    ShardPlan plan;
+    plan.experiments = std::move(names);
+    plan.sliceCount = slice_count ? slice_count : 1;
+    plan.traceStride = options.traceStride;
+    plan.uopsPerTrace = options.uopsPerTrace;
+    plan.cacheUops = options.cacheUops;
+    plan.adderOperandSamples = options.adderOperandSamples;
+    plan.profilingTraces = options.profilingTraces;
+    plan.mechanismTimeScale = options.mechanismTimeScale;
+    return plan;
+}
+
+ExperimentOptions
+ShardPlan::sliceOptions(unsigned slice_index) const
+{
+    ExperimentOptions options;
+    options.traceStride = traceStride;
+    options.uopsPerTrace =
+        static_cast<std::size_t>(uopsPerTrace);
+    options.cacheUops = static_cast<std::size_t>(cacheUops);
+    options.adderOperandSamples =
+        static_cast<std::size_t>(adderOperandSamples);
+    options.profilingTraces = profilingTraces;
+    options.mechanismTimeScale = mechanismTimeScale;
+    options.shardIndex = slice_index;
+    options.shardCount = sliceCount;
+    return options;
+}
+
+void
+ShardPlan::encode(ByteWriter &w) const
+{
+    w.u8(kShardPlanTag);
+    w.u8(kShardPlanVersion);
+    w.u32(static_cast<std::uint32_t>(experiments.size()));
+    for (const std::string &name : experiments) {
+        w.u32(static_cast<std::uint32_t>(name.size()));
+        w.bytes(name.data(), name.size());
+    }
+    w.u32(sliceCount);
+    w.u32(traceStride);
+    w.u64(uopsPerTrace);
+    w.u64(cacheUops);
+    w.u64(adderOperandSamples);
+    w.u32(profilingTraces);
+    w.f64(mechanismTimeScale);
+}
+
+bool
+ShardPlan::decode(ByteReader &r)
+{
+    if (r.u8() != kShardPlanTag ||
+        r.u8() != kShardPlanVersion)
+        return false;
+    const std::uint32_t count = r.u32();
+    if (!r.ok() || count == 0 || count > kMaxExperiments)
+        return false;
+    experiments.clear();
+    experiments.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t len = r.u32();
+        if (!r.ok() || len == 0 || len > kMaxNameLength)
+            return false;
+        const std::string_view name = r.bytesView(len);
+        if (!r.ok())
+            return false;
+        experiments.emplace_back(name);
+    }
+    sliceCount = r.u32();
+    traceStride = r.u32();
+    uopsPerTrace = r.u64();
+    cacheUops = r.u64();
+    adderOperandSamples = r.u64();
+    profilingTraces = r.u32();
+    mechanismTimeScale = r.f64();
+    if (!r.ok())
+        return false;
+    if (sliceCount == 0 || sliceCount > kMaxSlices ||
+        traceStride == 0 || traceStride > kMaxStride ||
+        uopsPerTrace == 0 || uopsPerTrace > kMaxUops ||
+        cacheUops == 0 || cacheUops > kMaxUops ||
+        adderOperandSamples > kMaxOperandSamples ||
+        profilingTraces == 0 ||
+        profilingTraces > kMaxProfilingTraces)
+        return false;
+    if (!(mechanismTimeScale > 0.0) ||
+        !(mechanismTimeScale <= 1.0))
+        return false;
+    return true;
+}
+
+bool
+runPlanSlice(const WorkloadSet &workload, const ShardPlan &plan,
+             unsigned slice_index, unsigned jobs, ThreadPool *pool,
+             ResultCache &cache)
+{
+    if (slice_index >= plan.sliceCount)
+        return false;
+    registerBuiltinExperiments();
+    const ExperimentRegistry &registry =
+        ExperimentRegistry::instance();
+
+    // Validate the whole plan before running anything, mirroring
+    // the bench driver's fail-before-run behaviour.
+    std::vector<const Experiment *> experiments;
+    for (const std::string &name : plan.experiments) {
+        const Experiment *experiment = registry.find(name);
+        if (!experiment)
+            return false;
+        experiments.push_back(experiment);
+    }
+
+    ExperimentOptions options = plan.sliceOptions(slice_index);
+    options.jobs = jobs ? jobs : 1;
+    options.pool = pool;
+    options.cache = &cache;
+
+    // A slice's rendering is partial (only its cache entries
+    // matter), so the output is discarded: a null-streambuf
+    // ostream swallows every write.
+    std::ostream null_out(nullptr);
+    for (const Experiment *experiment : experiments)
+        experiment->run({workload, options, null_out});
+    return true;
+}
+
+} // namespace penelope

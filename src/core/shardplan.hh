@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The unit of distributed scale-out: a shard plan.
+ *
+ * A ShardPlan captures everything a run of the experiment catalog
+ * needs to be reproduced elsewhere -- the experiment names and every
+ * ExperimentOptions field that steers statistics -- plus the number
+ * of round-robin slices the evaluation trace sets are carved into.
+ * It is the schedulable form of what `penelope_bench --shard i/N`
+ * used to assemble ad hoc from CLI flags:
+ *
+ *  - the bench driver builds a plan from its parsed options and
+ *    derives per-slice ExperimentOptions through sliceOptions();
+ *  - the networked coordinator (src/net/coordinator.hh) sends the
+ *    encoded plan to every worker inside each slice assignment, so
+ *    workers never depend on matching CLI flags;
+ *  - runPlanSlice() is the worker-side executor: it runs every
+ *    experiment of the plan restricted to one slice, with stdout
+ *    discarded (a slice's rendering is partial; only its cache
+ *    entries matter) and the per-trace results captured in a
+ *    ResultCache ready for exportToBytes().
+ *
+ * Execution-only knobs (jobs, pool, cache) are deliberately not
+ * part of a plan: they differ per machine and never change any
+ * statistic.
+ */
+
+#ifndef PENELOPE_CORE_SHARDPLAN_HH
+#define PENELOPE_CORE_SHARDPLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hh"
+#include "core/resultcache.hh"
+
+namespace penelope {
+
+class ThreadPool;
+
+/** A reproducible experiment run carved into shard slices. */
+struct ShardPlan
+{
+    /** Experiment names, in run order. */
+    std::vector<std::string> experiments;
+
+    /** Round-robin slices the evaluation trace sets are carved
+     *  into (the N of `--shard i/N`). */
+    unsigned sliceCount = 1;
+
+    // Statistic-steering option fields (see ExperimentOptions).
+    unsigned traceStride = 16;
+    std::uint64_t uopsPerTrace = 40'000;
+    std::uint64_t cacheUops = 40'000;
+    std::uint64_t adderOperandSamples = 2'000;
+    unsigned profilingTraces = 100;
+    double mechanismTimeScale = 0.05;
+
+    bool operator==(const ShardPlan &) const = default;
+
+    /** Capture a plan from parsed bench options. */
+    static ShardPlan fromOptions(std::vector<std::string> names,
+                                 const ExperimentOptions &options,
+                                 unsigned slice_count);
+
+    /**
+     * ExperimentOptions for one slice of this plan.  Execution
+     * knobs (jobs, pool, cache) are left at their defaults for the
+     * caller to fill in.
+     */
+    ExperimentOptions sliceOptions(unsigned slice_index) const;
+
+    /** Versioned wire/file codec (see serialize.hh conventions).
+     *  decode() validates every field and returns false on any
+     *  inconsistency, leaving *this unspecified. */
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/**
+ * Run one slice of @p plan: every experiment, restricted to the
+ * slice_index-th round-robin slice, stdout discarded, per-trace
+ * results captured in @p cache.  Returns false (running nothing)
+ * when the plan is invalid for this binary's registry -- an unknown
+ * experiment name or an out-of-range slice.
+ */
+bool runPlanSlice(const WorkloadSet &workload,
+                  const ShardPlan &plan, unsigned slice_index,
+                  unsigned jobs, ThreadPool *pool,
+                  ResultCache &cache);
+
+} // namespace penelope
+
+#endif // PENELOPE_CORE_SHARDPLAN_HH

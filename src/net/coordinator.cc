@@ -1,0 +1,212 @@
+#include "coordinator.hh"
+
+#include <chrono>
+
+namespace penelope {
+namespace net {
+
+namespace {
+
+/** Listener poll granularity: how often the accept loop re-checks
+ *  for completion. */
+constexpr int kAcceptPollMs = 100;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+Coordinator::Coordinator(const ShardPlan &plan, ResultCache &cache,
+                         const CoordinatorConfig &config)
+    : plan_(plan), cache_(cache), config_(config)
+{
+    done_.assign(plan_.sliceCount, false);
+    for (unsigned slice = 0; slice < plan_.sliceCount; ++slice)
+        pending_.push_back(slice);
+    stats_.slices = plan_.sliceCount;
+}
+
+Coordinator::~Coordinator()
+{
+    {
+        // A destroyed coordinator releases every handler, even
+        // after a run() that never completed.
+        std::lock_guard<std::mutex> lock(mutex_);
+        finished_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &handler : handlers_) {
+        if (handler.joinable())
+            handler.join();
+    }
+}
+
+bool
+Coordinator::start(std::string *error)
+{
+    listener_ = Socket::listenOn(config_.port, error);
+    if (!listener_.valid())
+        return false;
+    port_ = listener_.boundPort();
+    return true;
+}
+
+bool
+Coordinator::allDone() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return finished_;
+}
+
+bool
+Coordinator::run()
+{
+    if (!listener_.valid())
+        return false;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    while (!allDone()) {
+        Socket conn = listener_.accept(kAcceptPollMs);
+        if (conn.valid()) {
+            handlers_.emplace_back(
+                [this, sock = std::move(conn)]() mutable {
+                    serveConnection(std::move(sock));
+                });
+        }
+    }
+    listener_.close();
+    cv_.notify_all();
+    for (std::thread &handler : handlers_)
+        handler.join();
+    handlers_.clear();
+
+    stats_.wallSeconds = secondsSince(t0);
+    return true;
+}
+
+bool
+Coordinator::claimSlice(unsigned &slice)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock,
+             [this] { return finished_ || !pending_.empty(); });
+    if (finished_)
+        return false;
+    slice = pending_.front();
+    pending_.pop_front();
+    ++stats_.assignments;
+    return true;
+}
+
+void
+Coordinator::requeueSlice(unsigned slice, bool after_assignment)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (done_[slice])
+            return; // completed elsewhere meanwhile
+        pending_.push_back(slice);
+        if (after_assignment)
+            ++stats_.reassignments;
+    }
+    cv_.notify_all();
+}
+
+void
+Coordinator::completeSlice(const ResultMessage &result)
+{
+    // Import outside the coordination lock: entry insertion has its
+    // own striped locking, and a large entry stream should not
+    // stall claims.  Duplicate imports deduplicate by key.
+    const auto t0 = std::chrono::steady_clock::now();
+    cache_.importFromBytes(result.entries);
+    const double import_seconds = secondsSince(t0);
+
+    bool finished_now = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.resultBytes += result.entries.size();
+        stats_.workerSimSeconds += result.simSeconds;
+        stats_.importSeconds += import_seconds;
+        if (done_[result.sliceIndex]) {
+            ++stats_.duplicateResults;
+        } else {
+            done_[result.sliceIndex] = true;
+            if (++doneCount_ == done_.size()) {
+                finished_ = true;
+                finished_now = true;
+            }
+        }
+    }
+    if (finished_now)
+        cv_.notify_all();
+}
+
+void
+Coordinator::serveConnection(Socket sock)
+{
+    const AbortFn abort = [this] { return allDone(); };
+
+    // Handshake: one Hello, protocol version verified by decode().
+    Frame frame;
+    if (recvFrame(sock, frame, config_.sliceTimeoutMs, abort) !=
+            RecvStatus::Ok ||
+        frame.type != MessageType::Hello)
+        return;
+    HelloMessage hello;
+    {
+        ByteReader r(frame.payload);
+        if (!hello.decode(r))
+            return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.workersSeen;
+        stats_.workerCpus.push_back(hello.hostCpus);
+    }
+
+    unsigned slice = 0;
+    while (claimSlice(slice)) {
+        AssignMessage assign;
+        assign.sliceIndex = slice;
+        assign.plan = plan_;
+        ByteWriter w;
+        assign.encode(w);
+        if (!sendFrame(sock, MessageType::Assign, w.view())) {
+            requeueSlice(slice, true);
+            return;
+        }
+
+        const RecvStatus status = recvFrame(
+            sock, frame, config_.sliceTimeoutMs, abort);
+        if (status != RecvStatus::Ok ||
+            frame.type != MessageType::Result) {
+            // Disconnect, timeout, corruption or protocol breach:
+            // the slice is forfeit.  A late duplicate Result from
+            // this worker cannot arrive (the connection dies with
+            // this handler), and one from a reassignment is
+            // deduplicated on import.
+            requeueSlice(slice, true);
+            return;
+        }
+        ResultMessage result;
+        ByteReader r(frame.payload);
+        if (!result.decode(r) || result.sliceIndex != slice) {
+            requeueSlice(slice, true);
+            return;
+        }
+        completeSlice(result);
+    }
+
+    // All slices done: release the worker.  Best effort -- a
+    // worker that vanished already is someone else's exit path.
+    sendFrame(sock, MessageType::Shutdown, {});
+}
+
+} // namespace net
+} // namespace penelope

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The distributed experiment coordinator.
+ *
+ * Carves a ShardPlan's evaluation work into sliceCount round-robin
+ * slices and serves them to connecting workers over the framed
+ * protocol (protocol.hh): each worker handler claims a pending
+ * slice, sends the assignment, and waits for the Result frame.  The
+ * fault model is crash-stop workers over a reliable stream:
+ *
+ *  - a worker that disconnects, times out or sends a corrupt frame
+ *    forfeits its slice, which goes back on the pending queue for
+ *    the next available worker (including one that connects later);
+ *  - duplicate completions -- a slow worker finishing a slice that
+ *    was reassigned and completed elsewhere -- are harmless: the
+ *    entry stream is content-addressed, so importing it twice
+ *    deduplicates by key (idempotent by construction);
+ *  - corrupt entry *payloads* inside an otherwise intact Result
+ *    degrade exactly like a corrupt cache file: dropped records
+ *    become misses and the final render recomputes them locally.
+ *
+ * run() returns once every slice has been imported.  The caller
+ * then renders the experiments with the populated ResultCache --
+ * the same code path as `--merge`, so the final stdout is
+ * byte-identical to an unsharded run.
+ */
+
+#ifndef PENELOPE_NET_COORDINATOR_HH
+#define PENELOPE_NET_COORDINATOR_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/shardplan.hh"
+#include "net/protocol.hh"
+
+namespace penelope {
+namespace net {
+
+struct CoordinatorConfig
+{
+    /** Port to listen on (0 = ephemeral; query with port()). */
+    std::uint16_t port = 0;
+
+    /** Workers the operator plans to attach.  Informational (the
+     *  run completes with any number >= 1 of them) and the default
+     *  basis for slice carving in the bench driver. */
+    unsigned workersExpected = 1;
+
+    /** A slice assignment older than this is presumed lost: the
+     *  connection is closed and the slice requeued, so a
+     *  slow-but-healthy worker's eventual result is discarded
+     *  with the connection and the slice is redone elsewhere
+     *  (size the timeout generously).  Negative = wait forever. */
+    int sliceTimeoutMs = 600'000;
+};
+
+/** Aggregate accounting of one coordinated run. */
+struct CoordinatorStats
+{
+    unsigned slices = 0;          ///< total carved
+    unsigned assignments = 0;     ///< Assign frames sent
+    unsigned reassignments = 0;   ///< slices requeued after a loss
+    unsigned duplicateResults = 0;
+    unsigned workersSeen = 0;     ///< accepted Hello handshakes
+    std::uint64_t resultBytes = 0; ///< entry-stream bytes received
+    double workerSimSeconds = 0.0; ///< sum of worker-reported times
+    double importSeconds = 0.0;   ///< coordinator-side entry import
+    double wallSeconds = 0.0;     ///< start of run() to completion
+    std::vector<std::uint32_t> workerCpus; ///< per accepted worker
+};
+
+class Coordinator
+{
+  public:
+    Coordinator(const ShardPlan &plan, ResultCache &cache,
+                const CoordinatorConfig &config);
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /** Bind and listen; false (with @p error filled) on failure. */
+    bool start(std::string *error);
+
+    /** Listening port (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Serve workers until every slice has been imported into the
+     * cache.  Blocks; returns false only when start() was never
+     * called successfully.
+     */
+    bool run();
+
+    /** Accounting (stable once run() returned). */
+    const CoordinatorStats &stats() const { return stats_; }
+
+  private:
+    void serveConnection(Socket sock);
+    bool claimSlice(unsigned &slice);
+    void requeueSlice(unsigned slice, bool after_assignment);
+    void completeSlice(const ResultMessage &result);
+    bool allDone() const;
+
+    ShardPlan plan_;
+    ResultCache &cache_;
+    CoordinatorConfig config_;
+
+    Socket listener_;
+    std::uint16_t port_ = 0;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<unsigned> pending_;
+    std::vector<bool> done_;
+    std::size_t doneCount_ = 0;
+    bool finished_ = false; ///< every slice done; handlers drain
+
+    std::vector<std::thread> handlers_;
+    CoordinatorStats stats_;
+};
+
+} // namespace net
+} // namespace penelope
+
+#endif // PENELOPE_NET_COORDINATOR_HH

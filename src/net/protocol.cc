@@ -1,0 +1,149 @@
+#include "protocol.hh"
+
+namespace penelope {
+namespace net {
+
+namespace {
+
+std::uint64_t
+payloadChecksum(MessageType type, std::string_view payload)
+{
+    return murmur3_128(payload.data(), payload.size(),
+                       static_cast<std::uint64_t>(type))
+        .lo;
+}
+
+bool
+knownType(std::uint32_t type)
+{
+    switch (static_cast<MessageType>(type)) {
+      case MessageType::Hello:
+      case MessageType::Assign:
+      case MessageType::Result:
+      case MessageType::Shutdown:
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+encodeFrame(MessageType type, std::string_view payload)
+{
+    ByteWriter w;
+    w.u32(kProtocolMagic);
+    w.u32(kProtocolVersion);
+    w.u32(static_cast<std::uint32_t>(type));
+    w.u32(0); // reserved
+    w.u64(payload.size());
+    w.u64(payloadChecksum(type, payload));
+    w.bytes(payload.data(), payload.size());
+    return w.data();
+}
+
+bool
+sendFrame(Socket &sock, MessageType type,
+          std::string_view payload)
+{
+    const std::string frame = encodeFrame(type, payload);
+    return sock.sendAll(frame.data(), frame.size());
+}
+
+RecvStatus
+recvFrame(Socket &sock, Frame &frame, int timeout_ms,
+          const AbortFn &abort)
+{
+    char header[kFrameHeaderBytes];
+    if (!sock.recvAll(header, sizeof(header), timeout_ms, abort))
+        return RecvStatus::Closed;
+
+    ByteReader r(std::string_view(header, sizeof(header)));
+    const std::uint32_t magic = r.u32();
+    const std::uint32_t version = r.u32();
+    const std::uint32_t type = r.u32();
+    r.u32(); // reserved
+    const std::uint64_t length = r.u64();
+    const std::uint64_t checksum = r.u64();
+
+    if (magic != kProtocolMagic || version != kProtocolVersion ||
+        !knownType(type) || length > kMaxFramePayload)
+        return RecvStatus::Corrupt;
+
+    frame.type = static_cast<MessageType>(type);
+    frame.payload.resize(static_cast<std::size_t>(length));
+    if (length > 0 &&
+        !sock.recvAll(frame.payload.data(), frame.payload.size(),
+                      timeout_ms, abort))
+        return RecvStatus::Closed;
+
+    if (checksum != payloadChecksum(frame.type, frame.payload))
+        return RecvStatus::Corrupt;
+    return RecvStatus::Ok;
+}
+
+// ------------------------------------------------ message payloads
+
+void
+HelloMessage::encode(ByteWriter &w) const
+{
+    w.u32(protocolVersion);
+    w.u32(hostCpus);
+    w.u64(capabilities);
+}
+
+bool
+HelloMessage::decode(ByteReader &r)
+{
+    protocolVersion = r.u32();
+    hostCpus = r.u32();
+    capabilities = r.u64();
+    return r.ok() && r.atEnd() &&
+        protocolVersion == kProtocolVersion;
+}
+
+void
+AssignMessage::encode(ByteWriter &w) const
+{
+    w.u32(sliceIndex);
+    plan.encode(w);
+}
+
+bool
+AssignMessage::decode(ByteReader &r)
+{
+    sliceIndex = r.u32();
+    if (!r.ok() || !plan.decode(r) || !r.atEnd())
+        return false;
+    return sliceIndex < plan.sliceCount;
+}
+
+void
+ResultMessage::encode(ByteWriter &w) const
+{
+    w.u32(sliceIndex);
+    w.u32(hostCpus);
+    w.f64(simSeconds);
+    w.u64(entries.size());
+    w.bytes(entries.data(), entries.size());
+}
+
+bool
+ResultMessage::decode(ByteReader &r)
+{
+    sliceIndex = r.u32();
+    hostCpus = r.u32();
+    simSeconds = r.f64();
+    const std::uint64_t size = r.u64();
+    if (!r.ok() || size > kMaxFramePayload)
+        return false;
+    const std::string_view bytes =
+        r.bytesView(static_cast<std::size_t>(size));
+    if (!r.ok() || !r.atEnd())
+        return false;
+    entries.assign(bytes);
+    return simSeconds >= 0.0;
+}
+
+} // namespace net
+} // namespace penelope

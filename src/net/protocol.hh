@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The coordinator/worker wire protocol.
+ *
+ * Length-prefixed frames with a versioned, checksummed binary
+ * header, payloads encoded with the same ByteWriter/ByteReader
+ * machinery the result cache uses (explicit little-endian, decoders
+ * validate everything).  The design rules mirror the cache's:
+ * a corrupt, truncated or version-mismatched frame is *rejected
+ * cleanly* (the connection is abandoned, the work is reassigned),
+ * never trusted and never fatal to the run.
+ *
+ * Frame layout (32-byte header, then the payload):
+ *
+ *   u32 magic      'PNLP'
+ *   u32 version    kProtocolVersion (foreign versions rejected)
+ *   u32 type       MessageType
+ *   u32 reserved   0 (capability/flags space for later versions)
+ *   u64 length     payload bytes (bounded by kMaxFramePayload)
+ *   u64 checksum   murmur3_128(payload, seed = type).lo
+ *
+ * Conversation:
+ *
+ *   worker -> coordinator   Hello   (version echo, host CPUs)
+ *   coordinator -> worker   Assign  (slice index + the ShardPlan)
+ *   worker -> coordinator   Result  (slice index, timing, entries)
+ *   ... Assign/Result repeat ...
+ *   coordinator -> worker   Shutdown
+ *
+ * The Result entry bytes are exactly a ResultCache::exportToBytes()
+ * stream -- the same merge-ready format `--shard` writes to disk --
+ * so duplicate completions (a reassigned slice finishing twice)
+ * deduplicate on import by content-addressing, for free.
+ */
+
+#ifndef PENELOPE_NET_PROTOCOL_HH
+#define PENELOPE_NET_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/shardplan.hh"
+#include "net/socket.hh"
+
+namespace penelope {
+namespace net {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x504e4c50; // PNLP
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Serialized frame header size in bytes. */
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+
+/** Upper bound on one frame's payload (a shard entry stream for a
+ *  full --all run is well under 1 MB; 1 GiB flags corruption, not
+ *  configuration). */
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+enum class MessageType : std::uint32_t
+{
+    Hello = 1,
+    Assign = 2,
+    Result = 3,
+    Shutdown = 4,
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    MessageType type = MessageType::Hello;
+    std::string payload;
+};
+
+/** Outcome of recvFrame(). */
+enum class RecvStatus
+{
+    Ok,      ///< frame received and verified
+    Closed,  ///< peer closed / receive failed / deadline / abort
+    Corrupt, ///< bad magic, foreign version, length or checksum
+};
+
+/** Serialize a frame (header + payload) into one byte string. */
+std::string encodeFrame(MessageType type,
+                        std::string_view payload);
+
+/** Send one frame; false on any socket error. */
+bool sendFrame(Socket &sock, MessageType type,
+               std::string_view payload);
+
+/**
+ * Receive and verify one frame.  @p timeout_ms bounds the wait for
+ * the *header* and again for the payload (negative = forever);
+ * @p abort is consulted while waiting (see Socket::recvAll).
+ */
+RecvStatus recvFrame(Socket &sock, Frame &frame,
+                     int timeout_ms = -1,
+                     const AbortFn &abort = {});
+
+// ------------------------------------------------ message payloads
+//
+// Every message has an encode()/decode() pair in ByteWriter/
+// ByteReader form; decode() validates and returns false on any
+// inconsistency.
+
+/** worker -> coordinator: introduction. */
+struct HelloMessage
+{
+    std::uint32_t protocolVersion = kProtocolVersion;
+    std::uint32_t hostCpus = 0; ///< worker hardware threads
+    std::uint64_t capabilities = 0; ///< reserved (none defined yet)
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** coordinator -> worker: one slice of the plan. */
+struct AssignMessage
+{
+    std::uint32_t sliceIndex = 0;
+    ShardPlan plan;
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** worker -> coordinator: a completed slice. */
+struct ResultMessage
+{
+    std::uint32_t sliceIndex = 0;
+    std::uint32_t hostCpus = 0;
+    double simSeconds = 0.0; ///< worker-side wall time for the slice
+    std::string entries;     ///< ResultCache::exportToBytes stream
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+} // namespace net
+} // namespace penelope
+
+#endif // PENELOPE_NET_PROTOCOL_HH

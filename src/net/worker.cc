@@ -1,0 +1,150 @@
+#include "worker.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "net/protocol.hh"
+
+namespace penelope {
+namespace net {
+
+namespace {
+
+Socket
+connectWithRetry(const WorkerConfig &config, std::string *error)
+{
+    std::string last_error;
+    const unsigned attempts =
+        config.connectAttempts ? config.connectAttempts : 1;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(
+                    config.connectRetryMs > 0
+                        ? config.connectRetryMs
+                        : 1));
+        }
+        Socket sock = Socket::connectTo(config.host, config.port,
+                                        &last_error);
+        if (sock.valid())
+            return sock;
+    }
+    if (error)
+        *error = last_error;
+    return {};
+}
+
+} // namespace
+
+WorkerOutcome
+runWorker(const WorkerConfig &config, const WorkloadSet &workload,
+          ResultCache &cache, WorkerStats *stats,
+          std::string *error)
+{
+    WorkerStats local_stats;
+    // Every exit path reports the stats accumulated so far: a
+    // worker that ran slices and then lost its coordinator still
+    // shows the work it did.
+    const auto finish = [&](WorkerOutcome outcome) {
+        if (stats)
+            *stats = local_stats;
+        return outcome;
+    };
+
+    Socket sock = connectWithRetry(config, error);
+    if (!sock.valid())
+        return finish(WorkerOutcome::ConnectFailed);
+
+    HelloMessage hello;
+    hello.hostCpus = config.hostCpus;
+    {
+        ByteWriter w;
+        hello.encode(w);
+        if (!sendFrame(sock, MessageType::Hello, w.view())) {
+            if (error)
+                *error = "sending hello failed";
+            return finish(WorkerOutcome::ConnectionLost);
+        }
+    }
+
+    unsigned assignments = 0;
+    for (;;) {
+        Frame frame;
+        const RecvStatus status = recvFrame(sock, frame);
+        if (status != RecvStatus::Ok) {
+            if (error)
+                *error = status == RecvStatus::Corrupt
+                    ? "corrupt frame from coordinator"
+                    : "connection to coordinator lost";
+            return finish(WorkerOutcome::ConnectionLost);
+        }
+        if (frame.type == MessageType::Shutdown)
+            break;
+        if (frame.type != MessageType::Assign) {
+            if (error)
+                *error = "unexpected frame from coordinator";
+            return finish(WorkerOutcome::ConnectionLost);
+        }
+
+        AssignMessage assign;
+        {
+            ByteReader r(frame.payload);
+            if (!assign.decode(r)) {
+                if (error)
+                    *error = "undecodable assignment";
+                return finish(WorkerOutcome::BadAssignment);
+            }
+        }
+        ++assignments;
+        if (config.abortAfterAssignments &&
+            assignments >= config.abortAfterAssignments) {
+            // Testing hook: die holding the slice.  The abrupt
+            // close is the point -- the coordinator must detect the
+            // loss and reassign.
+            sock.close();
+            if (error)
+                *error = "aborted by --worker-abort-after";
+            return finish(WorkerOutcome::Aborted);
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!runPlanSlice(workload, assign.plan,
+                          assign.sliceIndex, config.jobs,
+                          config.pool, cache)) {
+            // A plan this binary cannot run (unknown experiment:
+            // version skew between coordinator and worker).  Close
+            // so the coordinator reassigns; retrying here could
+            // never succeed.
+            if (error)
+                *error = "assignment names an unknown experiment "
+                         "(binary version skew?)";
+            return finish(WorkerOutcome::BadAssignment);
+        }
+        const double sim_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        ++local_stats.slicesRun;
+        local_stats.simSeconds += sim_seconds;
+
+        ResultMessage result;
+        result.sliceIndex = assign.sliceIndex;
+        result.hostCpus = config.hostCpus;
+        result.simSeconds = sim_seconds;
+        cache.exportToBytes(result.entries);
+        local_stats.sentBytes += result.entries.size();
+        ByteWriter w;
+        result.encode(w);
+        if (!sendFrame(sock, MessageType::Result, w.view())) {
+            if (error)
+                *error = "sending result failed (run finished or "
+                         "coordinator gone)";
+            return finish(WorkerOutcome::ConnectionLost);
+        }
+    }
+
+    return finish(WorkerOutcome::Finished);
+}
+
+} // namespace net
+} // namespace penelope

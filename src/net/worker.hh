@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The distributed experiment worker.
+ *
+ * Connects to a coordinator (coordinator.hh), introduces itself
+ * with a Hello, then loops: receive a slice assignment, run it
+ * through the regular Engine/ResultCache experiment path
+ * (runPlanSlice), and stream the resulting content-addressed
+ * entries back as one Result frame.  The worker keeps a single
+ * ResultCache across assignments, so shared phases (the scheduler
+ * profiling set, the one-trace-per-suite maps) simulate once per
+ * process and every later slice of the same plan hits them; each
+ * Result carries the full entry set, which costs a little wire
+ * redundancy and buys idempotent, deduplicating imports.
+ *
+ * A worker is deliberately stateless about the run: it learns
+ * everything from the wire (the plan travels inside each Assign),
+ * so the only thing an operator must match across machines is the
+ * binary version.
+ */
+
+#ifndef PENELOPE_NET_WORKER_HH
+#define PENELOPE_NET_WORKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/shardplan.hh"
+#include "net/socket.hh"
+
+namespace penelope {
+namespace net {
+
+struct WorkerConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /** Simulation threads for the slice runs. */
+    unsigned jobs = 1;
+
+    /** Optional persistent worker pool (not owned). */
+    ThreadPool *pool = nullptr;
+
+    /** Hardware threads reported in the Hello (0 = unknown). */
+    std::uint32_t hostCpus = 0;
+
+    /** Connection attempts before giving up (a worker commonly
+     *  starts before its coordinator finished binding). */
+    unsigned connectAttempts = 20;
+    int connectRetryMs = 250;
+
+    /** Testing hook: abort the process's part of the run by
+     *  closing the connection upon receiving the N-th assignment,
+     *  without running or replying (0 = never).  Exercises the
+     *  coordinator's reassignment path deterministically. */
+    unsigned abortAfterAssignments = 0;
+};
+
+/** Worker-side accounting. */
+struct WorkerStats
+{
+    unsigned slicesRun = 0;
+    double simSeconds = 0.0;     ///< time inside the slice runs
+    std::uint64_t sentBytes = 0; ///< Result entry bytes sent
+};
+
+/** Exit disposition of runWorker(). */
+enum class WorkerOutcome
+{
+    Finished,       ///< coordinator sent Shutdown
+    Aborted,        ///< abortAfterAssignments hook fired
+    ConnectFailed,  ///< could not reach the coordinator
+    ConnectionLost, ///< stream failed mid-run
+    BadAssignment,  ///< undecodable/unknown plan from coordinator
+};
+
+/**
+ * Run the worker loop against the coordinator at config.host:port.
+ * Slices execute through runPlanSlice() on @p workload with
+ * results accumulated in @p cache (in-memory, or disk-backed when
+ * the operator passed --cache-dir: a restarted worker then serves
+ * previously simulated entries instantly).  @p error is filled for
+ * non-Finished outcomes.
+ */
+WorkerOutcome runWorker(const WorkerConfig &config,
+                        const WorkloadSet &workload,
+                        ResultCache &cache,
+                        WorkerStats *stats = nullptr,
+                        std::string *error = nullptr);
+
+} // namespace net
+} // namespace penelope
+
+#endif // PENELOPE_NET_WORKER_HH

@@ -39,47 +39,4 @@ RegFileReplay::drainReleases(Cycle now, bool force)
     }
 }
 
-RegReplayResult
-RegFileReplay::run(TraceGenerator &gen, std::size_t num_uops)
-{
-    Cycle now = clock_;
-    for (std::size_t i = 0; i < num_uops; ++i, ++now) {
-        drainReleases(now, false);
-        const Uop uop = gen.next();
-        if (!uop.writesReg())
-            continue;
-        if (isFp(uop.cls) != config_.fp)
-            continue;
-
-        int phys = rf_.allocate(now);
-        if (phys < 0) {
-            // Free-list pressure: force the oldest pending release
-            // (the pipeline would have stalled until commit).
-            drainReleases(now, true);
-            phys = rf_.allocate(now);
-            if (phys < 0)
-                continue; // nothing to release yet; drop the write
-        }
-        const BitWord value = config_.fp
-            ? BitWord(rf_.width(), uop.dstVal, uop.dstValHi)
-            : BitWord(rf_.width(), uop.dstVal);
-        rf_.write(static_cast<unsigned>(phys), value, now);
-        ++result_.writes;
-
-        const unsigned arch = uop.dstReg;
-        assert(arch < archMap_.size());
-        if (archMap_[arch] >= 0) {
-            pending_.push_back(
-                {now + config_.commitDelay,
-                 static_cast<unsigned>(archMap_[arch])});
-        }
-        archMap_[arch] = phys;
-    }
-    clock_ = now;
-    result_.cycles = now;
-    result_.occupancy = rf_.occupancy(now);
-    result_.freeFraction = 1.0 - result_.occupancy;
-    return result_;
-}
-
 } // namespace penelope

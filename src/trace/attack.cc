@@ -1,5 +1,7 @@
 #include "attack.hh"
 
+#include <algorithm>
+
 namespace penelope {
 
 Uop
@@ -22,14 +24,18 @@ AttackTraceGenerator::next()
     uop.shift2 = false;
 
     // Rotate the architectural registers minimally so renaming
-    // stays plausible; the *values* are what the attack pins.
+    // stays plausible; the *values* are what the attack pins.  A
+    // hotRegs window narrows the rotation to the targeted
+    // registers (register-file attack); 0 keeps the full rotation
+    // (scheduler attack, the original behaviour).
+    const unsigned span = config_.hotRegs != 0
+        ? std::min(config_.hotRegs, numArchIntRegs)
+        : numArchIntRegs;
     const std::uint8_t reg =
-        static_cast<std::uint8_t>(count_ % numArchIntRegs);
+        static_cast<std::uint8_t>(count_ % span);
     uop.dstReg = reg;
-    uop.srcReg1 = static_cast<std::uint8_t>(
-        (reg + 1) % numArchIntRegs);
-    uop.srcReg2 = static_cast<std::uint8_t>(
-        (reg + 2) % numArchIntRegs);
+    uop.srcReg1 = static_cast<std::uint8_t>((reg + 1) % span);
+    uop.srcReg2 = static_cast<std::uint8_t>((reg + 2) % span);
 
     uop.srcVal1 = config_.dataValue;
     uop.srcVal2 = config_.dataValue;

@@ -54,6 +54,17 @@ struct AttackConfig
     /** Every n-th uop is a branch so the Taken bit sees live data
      *  (0 disables branches entirely). */
     unsigned branchPeriod = 8;
+
+    /**
+     * Architectural registers the stream cycles through (0 = all
+     * of them, the scheduler-attack default).  A small window is
+     * the register-file variant of the attack: the hot registers
+     * are overwritten with the pinned value on almost every cycle,
+     * so their physical registers hold it for their entire
+     * renaming lifetime while the rest of the file idles at
+     * whatever it last held.
+     */
+    unsigned hotRegs = 0;
 };
 
 /**

@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Tests for the networked scale-out subsystem (src/net): frame
+ * codec round-trips, rejection of truncated/corrupt/version-
+ * mismatched frames without crashing, ShardPlan wire validation,
+ * worker-drop-mid-slice reassignment, and a loopback coordinator +
+ * two workers end-to-end run asserted byte-identical to the
+ * unsharded output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hh"
+#include "core/shardplan.hh"
+#include "net/coordinator.hh"
+#include "net/protocol.hh"
+#include "net/worker.hh"
+#include "trace/workload.hh"
+
+namespace penelope {
+namespace {
+
+using net::AssignMessage;
+using net::Coordinator;
+using net::CoordinatorConfig;
+using net::Frame;
+using net::HelloMessage;
+using net::MessageType;
+using net::RecvStatus;
+using net::ResultMessage;
+using net::Socket;
+using net::WorkerConfig;
+using net::WorkerOutcome;
+using net::WorkerStats;
+
+/** A connected loopback socket pair (server side accepted). */
+struct LoopbackPair
+{
+    Socket listener;
+    Socket client;
+    Socket server;
+
+    static LoopbackPair
+    make()
+    {
+        LoopbackPair pair;
+        std::string error;
+        pair.listener = Socket::listenOn(0, &error);
+        EXPECT_TRUE(pair.listener.valid()) << error;
+        pair.client = Socket::connectTo(
+            "127.0.0.1", pair.listener.boundPort(), &error);
+        EXPECT_TRUE(pair.client.valid()) << error;
+        pair.server = pair.listener.accept(2'000);
+        EXPECT_TRUE(pair.server.valid());
+        return pair;
+    }
+};
+
+/** A small but non-trivial plan fixture. */
+ShardPlan
+samplePlan()
+{
+    ShardPlan plan;
+    plan.experiments = {"fig6", "fig3"};
+    plan.sliceCount = 3;
+    plan.traceStride = 96;
+    plan.uopsPerTrace = 2'000;
+    plan.cacheUops = 2'000;
+    plan.adderOperandSamples = 400;
+    plan.profilingTraces = 100;
+    plan.mechanismTimeScale = 0.05;
+    return plan;
+}
+
+// ------------------------------------------------------- framing
+
+TEST(NetProtocol, FrameRoundTripsAcrossSizes)
+{
+    LoopbackPair pair = LoopbackPair::make();
+    const std::string payloads[] = {
+        std::string(),
+        std::string("x"),
+        std::string(1'000, 'a'),
+        std::string(1 << 20, '\xff'),
+    };
+    for (const std::string &payload : payloads) {
+        ASSERT_TRUE(net::sendFrame(pair.client,
+                                   MessageType::Result, payload));
+        Frame frame;
+        ASSERT_EQ(net::recvFrame(pair.server, frame, 2'000),
+                  RecvStatus::Ok);
+        EXPECT_EQ(frame.type, MessageType::Result);
+        EXPECT_EQ(frame.payload, payload);
+    }
+}
+
+TEST(NetProtocol, BackToBackFramesKeepBoundaries)
+{
+    LoopbackPair pair = LoopbackPair::make();
+    ASSERT_TRUE(
+        net::sendFrame(pair.client, MessageType::Hello, "one"));
+    ASSERT_TRUE(
+        net::sendFrame(pair.client, MessageType::Assign, "two2"));
+    Frame frame;
+    ASSERT_EQ(net::recvFrame(pair.server, frame, 2'000),
+              RecvStatus::Ok);
+    EXPECT_EQ(frame.type, MessageType::Hello);
+    EXPECT_EQ(frame.payload, "one");
+    ASSERT_EQ(net::recvFrame(pair.server, frame, 2'000),
+              RecvStatus::Ok);
+    EXPECT_EQ(frame.type, MessageType::Assign);
+    EXPECT_EQ(frame.payload, "two2");
+}
+
+TEST(NetProtocol, TruncatedFrameIsClosedNotACrash)
+{
+    // Header cut mid-way.
+    {
+        LoopbackPair pair = LoopbackPair::make();
+        const std::string frame =
+            net::encodeFrame(MessageType::Hello, "payload");
+        ASSERT_TRUE(pair.client.sendAll(frame.data(), 10));
+        pair.client.close();
+        Frame out;
+        EXPECT_EQ(net::recvFrame(pair.server, out, 2'000),
+                  RecvStatus::Closed);
+    }
+    // Payload cut mid-way.
+    {
+        LoopbackPair pair = LoopbackPair::make();
+        const std::string frame =
+            net::encodeFrame(MessageType::Hello, "payload");
+        ASSERT_TRUE(
+            pair.client.sendAll(frame.data(), frame.size() - 3));
+        pair.client.close();
+        Frame out;
+        EXPECT_EQ(net::recvFrame(pair.server, out, 2'000),
+                  RecvStatus::Closed);
+    }
+}
+
+TEST(NetProtocol, CorruptFramesAreRejected)
+{
+    const std::string good =
+        net::encodeFrame(MessageType::Hello, "payload");
+
+    // One flipped byte anywhere must yield Corrupt (flipping a
+    // length byte can also starve the receive into Closed, but
+    // never Ok).
+    for (std::size_t pos : {std::size_t(0), std::size_t(5),
+                            std::size_t(9), good.size() - 1}) {
+        LoopbackPair pair = LoopbackPair::make();
+        std::string bad = good;
+        bad[pos] = static_cast<char>(bad[pos] ^ 0x20);
+        ASSERT_TRUE(pair.client.sendAll(bad.data(), bad.size()));
+        pair.client.close();
+        Frame out;
+        EXPECT_NE(net::recvFrame(pair.server, out, 2'000),
+                  RecvStatus::Ok)
+            << "flipped byte at " << pos;
+    }
+}
+
+TEST(NetProtocol, ForeignVersionAndOversizeLengthRejected)
+{
+    // Hand-build a header with a foreign version.
+    {
+        LoopbackPair pair = LoopbackPair::make();
+        ByteWriter w;
+        w.u32(net::kProtocolMagic);
+        w.u32(net::kProtocolVersion + 7);
+        w.u32(static_cast<std::uint32_t>(MessageType::Hello));
+        w.u32(0);
+        w.u64(0);
+        w.u64(0);
+        ASSERT_TRUE(
+            pair.client.sendAll(w.data().data(), w.data().size()));
+        Frame out;
+        EXPECT_EQ(net::recvFrame(pair.server, out, 2'000),
+                  RecvStatus::Corrupt);
+    }
+    // And one with an implausible payload length.
+    {
+        LoopbackPair pair = LoopbackPair::make();
+        ByteWriter w;
+        w.u32(net::kProtocolMagic);
+        w.u32(net::kProtocolVersion);
+        w.u32(static_cast<std::uint32_t>(MessageType::Result));
+        w.u32(0);
+        w.u64(net::kMaxFramePayload + 1);
+        w.u64(0);
+        ASSERT_TRUE(
+            pair.client.sendAll(w.data().data(), w.data().size()));
+        Frame out;
+        EXPECT_EQ(net::recvFrame(pair.server, out, 2'000),
+                  RecvStatus::Corrupt);
+    }
+}
+
+TEST(NetProtocol, RecvTimesOutInsteadOfHanging)
+{
+    LoopbackPair pair = LoopbackPair::make();
+    Frame out;
+    EXPECT_EQ(net::recvFrame(pair.server, out, 150),
+              RecvStatus::Closed);
+}
+
+// ---------------------------------------------- message payloads
+
+TEST(NetProtocol, MessageCodecsRoundTrip)
+{
+    {
+        HelloMessage in;
+        in.hostCpus = 12;
+        ByteWriter w;
+        in.encode(w);
+        HelloMessage out;
+        ByteReader r(w.view());
+        ASSERT_TRUE(out.decode(r));
+        EXPECT_EQ(out.hostCpus, 12u);
+        EXPECT_EQ(out.protocolVersion, net::kProtocolVersion);
+    }
+    {
+        AssignMessage in;
+        in.sliceIndex = 2;
+        in.plan = samplePlan();
+        ByteWriter w;
+        in.encode(w);
+        AssignMessage out;
+        ByteReader r(w.view());
+        ASSERT_TRUE(out.decode(r));
+        EXPECT_EQ(out.sliceIndex, 2u);
+        EXPECT_EQ(out.plan, in.plan);
+    }
+    {
+        ResultMessage in;
+        in.sliceIndex = 1;
+        in.hostCpus = 4;
+        in.simSeconds = 1.25;
+        in.entries = std::string("\x00\x01payload", 9);
+        ByteWriter w;
+        in.encode(w);
+        ResultMessage out;
+        ByteReader r(w.view());
+        ASSERT_TRUE(out.decode(r));
+        EXPECT_EQ(out.sliceIndex, 1u);
+        EXPECT_EQ(out.hostCpus, 4u);
+        EXPECT_EQ(out.simSeconds, 1.25);
+        EXPECT_EQ(out.entries, in.entries);
+    }
+}
+
+TEST(NetProtocol, MessageDecodersRejectBadPayloads)
+{
+    // Hello with a foreign protocol version.
+    {
+        HelloMessage in;
+        in.protocolVersion = 99;
+        ByteWriter w;
+        in.encode(w);
+        HelloMessage out;
+        ByteReader r(w.view());
+        EXPECT_FALSE(out.decode(r));
+    }
+    // Assign whose slice index is outside the plan.
+    {
+        AssignMessage in;
+        in.sliceIndex = 10; // plan has 3 slices
+        in.plan = samplePlan();
+        ByteWriter w;
+        in.encode(w);
+        AssignMessage out;
+        ByteReader r(w.view());
+        EXPECT_FALSE(out.decode(r));
+    }
+    // Truncated Result.
+    {
+        ResultMessage in;
+        in.entries = "0123456789";
+        ByteWriter w;
+        in.encode(w);
+        const std::string_view whole = w.view();
+        ResultMessage out;
+        ByteReader r(whole.substr(0, whole.size() - 4));
+        EXPECT_FALSE(out.decode(r));
+    }
+}
+
+// ------------------------------------------------------ ShardPlan
+
+TEST(ShardPlanCodec, RoundTripsAndValidates)
+{
+    const ShardPlan plan = samplePlan();
+    ByteWriter w;
+    plan.encode(w);
+
+    ShardPlan out;
+    ByteReader r(w.view());
+    ASSERT_TRUE(out.decode(r));
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(out, plan);
+
+    // Any truncation fails cleanly.
+    const std::string_view whole = w.view();
+    for (std::size_t cut = 0; cut < whole.size();
+         cut += std::max<std::size_t>(1, whole.size() / 17)) {
+        ShardPlan bad;
+        ByteReader rr(whole.substr(0, cut));
+        EXPECT_FALSE(bad.decode(rr)) << "cut at " << cut;
+    }
+}
+
+TEST(ShardPlanCodec, RejectsOutOfRangeFields)
+{
+    // A zero stride (division hazard downstream) must not decode.
+    ShardPlan plan = samplePlan();
+    plan.traceStride = 0;
+    ByteWriter w;
+    plan.encode(w);
+    ShardPlan out;
+    ByteReader r(w.view());
+    EXPECT_FALSE(out.decode(r));
+
+    // Neither must an absurd experiment count (corrupt length).
+    ByteWriter w2;
+    w2.u8(0x50); // tag
+    w2.u8(1);    // version
+    w2.u32(1u << 30);
+    ShardPlan out2;
+    ByteReader r2(w2.view());
+    EXPECT_FALSE(out2.decode(r2));
+}
+
+TEST(ShardPlanCodec, SliceOptionsMirrorPlanFields)
+{
+    const ShardPlan plan = samplePlan();
+    const ExperimentOptions options = plan.sliceOptions(2);
+    EXPECT_EQ(options.traceStride, plan.traceStride);
+    EXPECT_EQ(options.uopsPerTrace, plan.uopsPerTrace);
+    EXPECT_EQ(options.cacheUops, plan.cacheUops);
+    EXPECT_EQ(options.adderOperandSamples,
+              plan.adderOperandSamples);
+    EXPECT_EQ(options.profilingTraces, plan.profilingTraces);
+    EXPECT_EQ(options.mechanismTimeScale,
+              plan.mechanismTimeScale);
+    EXPECT_EQ(options.shardIndex, 2u);
+    EXPECT_EQ(options.shardCount, plan.sliceCount);
+    EXPECT_EQ(options.cache, nullptr);
+    EXPECT_EQ(options.pool, nullptr);
+}
+
+TEST(ShardPlanCodec, RunPlanSliceRejectsUnknownWork)
+{
+    const WorkloadSet workload;
+    ResultCache cache;
+    ShardPlan plan = samplePlan();
+    plan.experiments = {"no-such-experiment"};
+    EXPECT_FALSE(
+        runPlanSlice(workload, plan, 0, 1, nullptr, cache));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // And an out-of-range slice.
+    EXPECT_FALSE(runPlanSlice(workload, samplePlan(),
+                              samplePlan().sliceCount, 1, nullptr,
+                              cache));
+}
+
+// ------------------------------------------------- end-to-end run
+
+/** Render the plan's experiments unsharded with @p cache. */
+std::string
+renderPlan(const WorkloadSet &workload, const ShardPlan &plan,
+           ResultCache *cache)
+{
+    registerBuiltinExperiments();
+    std::ostringstream out;
+    for (const std::string &name : plan.experiments) {
+        const Experiment *experiment =
+            ExperimentRegistry::instance().find(name);
+        EXPECT_NE(experiment, nullptr) << name;
+        ExperimentOptions options = plan.sliceOptions(0);
+        options.shardIndex = 0;
+        options.shardCount = 1;
+        options.cache = cache;
+        experiment->run({workload, options, out});
+    }
+    return out.str();
+}
+
+TEST(Distributed, LoopbackCoordinatorWithTwoWorkersIsBitIdentical)
+{
+    const WorkloadSet workload;
+    const ShardPlan plan = samplePlan();
+    const std::string reference =
+        renderPlan(workload, plan, nullptr);
+
+    ResultCache collected;
+    CoordinatorConfig config;
+    config.workersExpected = 2;
+    config.sliceTimeoutMs = 60'000;
+    Coordinator coordinator(plan, collected, config);
+    std::string error;
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+
+    std::thread serve([&] { coordinator.run(); });
+    auto workerBody = [&](WorkerStats *stats,
+                          WorkerOutcome *outcome) {
+        WorkerConfig wc;
+        wc.host = "127.0.0.1";
+        wc.port = coordinator.port();
+        wc.hostCpus = 1;
+        ResultCache local;
+        std::string werr;
+        *outcome =
+            net::runWorker(wc, workload, local, stats, &werr);
+    };
+    WorkerStats stats[2];
+    WorkerOutcome outcomes[2];
+    std::thread w0(workerBody, &stats[0], &outcomes[0]);
+    std::thread w1(workerBody, &stats[1], &outcomes[1]);
+    w0.join();
+    w1.join();
+    serve.join();
+
+    EXPECT_EQ(outcomes[0], WorkerOutcome::Finished);
+    EXPECT_EQ(outcomes[1], WorkerOutcome::Finished);
+    EXPECT_EQ(stats[0].slicesRun + stats[1].slicesRun,
+              plan.sliceCount);
+
+    const net::CoordinatorStats &cs = coordinator.stats();
+    EXPECT_EQ(cs.slices, plan.sliceCount);
+    EXPECT_EQ(cs.workersSeen, 2u);
+    EXPECT_EQ(cs.reassignments, 0u);
+
+    // The final render must draw every per-trace result from the
+    // collected entries (0 stores) and be byte-identical to the
+    // unsharded reference.
+    const std::string merged =
+        renderPlan(workload, plan, &collected);
+    EXPECT_EQ(merged, reference);
+    EXPECT_EQ(collected.stats().stores, 0u);
+    EXPECT_GT(collected.stats().hits, 0u);
+}
+
+TEST(Distributed, WorkerDroppedMidSliceIsReassigned)
+{
+    const WorkloadSet workload;
+    const ShardPlan plan = samplePlan();
+    const std::string reference =
+        renderPlan(workload, plan, nullptr);
+
+    ResultCache collected;
+    CoordinatorConfig config;
+    config.workersExpected = 2;
+    config.sliceTimeoutMs = 60'000;
+    Coordinator coordinator(plan, collected, config);
+    std::string error;
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::thread serve([&] { coordinator.run(); });
+
+    // The saboteur takes its first assignment and drops the
+    // connection without replying: a deterministic
+    // kill-mid-slice.
+    WorkerConfig bad;
+    bad.host = "127.0.0.1";
+    bad.port = coordinator.port();
+    bad.abortAfterAssignments = 1;
+    ResultCache bad_cache;
+    WorkerOutcome bad_outcome;
+    std::thread saboteur([&] {
+        std::string werr;
+        bad_outcome = net::runWorker(bad, workload, bad_cache,
+                                     nullptr, &werr);
+    });
+    saboteur.join();
+    EXPECT_EQ(bad_outcome, WorkerOutcome::Aborted);
+
+    // A healthy worker then completes the whole run, including
+    // the forfeited slice.
+    WorkerConfig good;
+    good.host = "127.0.0.1";
+    good.port = coordinator.port();
+    ResultCache good_cache;
+    WorkerStats good_stats;
+    WorkerOutcome good_outcome;
+    std::thread rescuer([&] {
+        std::string werr;
+        good_outcome = net::runWorker(good, workload, good_cache,
+                                      &good_stats, &werr);
+    });
+    rescuer.join();
+    serve.join();
+
+    EXPECT_EQ(good_outcome, WorkerOutcome::Finished);
+    EXPECT_EQ(good_stats.slicesRun, plan.sliceCount);
+    EXPECT_GE(coordinator.stats().reassignments, 1u);
+
+    const std::string merged =
+        renderPlan(workload, plan, &collected);
+    EXPECT_EQ(merged, reference);
+    EXPECT_EQ(collected.stats().stores, 0u);
+}
+
+// --------------------------------------- entry streams over wire
+
+TEST(Distributed, ExportImportBytesRoundTripsEntries)
+{
+    ResultCache a;
+    const Hash128 k1{0x1111, 0x2222};
+    const Hash128 k2{0x3333, 0x4444};
+    a.store(k1, "first payload");
+    a.store(k2, "second payload");
+    std::string bytes;
+    a.exportToBytes(bytes);
+
+    ResultCache b;
+    ASSERT_TRUE(b.importFromBytes(bytes));
+    std::string payload;
+    ASSERT_TRUE(b.lookup(k1, payload));
+    EXPECT_EQ(payload, "first payload");
+    ASSERT_TRUE(b.lookup(k2, payload));
+    EXPECT_EQ(payload, "second payload");
+
+    // Importing the same stream twice deduplicates (the duplicate
+    // Result case), and a flipped byte degrades to a dropped
+    // record, never a wrong payload.
+    ASSERT_TRUE(b.importFromBytes(bytes));
+    EXPECT_EQ(b.size(), 2u);
+
+    std::string corrupt = bytes;
+    corrupt[corrupt.size() / 2] ^= 0x10;
+    ResultCache c;
+    ASSERT_TRUE(c.importFromBytes(corrupt));
+    EXPECT_LE(c.size(), 2u);
+    std::string p1;
+    std::string p2;
+    const bool has1 = c.lookup(k1, p1);
+    const bool has2 = c.lookup(k2, p2);
+    if (has1) {
+        EXPECT_EQ(p1, "first payload");
+    }
+    if (has2) {
+        EXPECT_EQ(p2, "second payload");
+    }
+    EXPECT_LT(static_cast<int>(has1) + static_cast<int>(has2), 2);
+
+    // A foreign header is rejected outright.
+    ResultCache d;
+    EXPECT_FALSE(d.importFromBytes("not a shard stream"));
+}
+
+} // namespace
+} // namespace penelope
