@@ -77,6 +77,37 @@ BM_NetlistEvaluateBatch(benchmark::State &state)
 }
 BENCHMARK(BM_NetlistEvaluateBatch);
 
+/** Wide netlist pass: W lane words per net in one op-stream walk
+ *  (arg = W).  items/s counts vectors, so comparing against
+ *  BM_NetlistEvaluateBatch shows the per-vector gain from
+ *  amortising the op-stream decode (and, at W=4 with AVX2, from
+ *  the vector kernel). */
+void
+BM_NetlistEvaluateBatchWide(benchmark::State &state)
+{
+    const unsigned net_w = static_cast<unsigned>(state.range(0));
+    LadnerFischerAdder adder(32);
+    Rng rng(1);
+    std::uint64_t a[256];
+    std::uint64_t b[256];
+    for (unsigned i = 0; i < net_w * 64; ++i) {
+        a[i] = rng() & 0xffffffff;
+        b[i] = rng() & 0xffffffff;
+    }
+    std::uint64_t cin_masks[4];
+    for (unsigned w = 0; w < net_w; ++w)
+        cin_masks[w] = rng();
+    std::vector<std::uint64_t> words;
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        adder.evaluateBatchWide(a, b, cin_masks, net_w, words);
+        acc += words.back();
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() * net_w * 64);
+}
+BENCHMARK(BM_NetlistEvaluateBatchWide)->Arg(1)->Arg(2)->Arg(4);
+
 /** Scalar aging observe: one evaluated vector, one pass over the
  *  per-net slots. */
 void
@@ -263,6 +294,23 @@ BM_SchedulerReplay(benchmark::State &state)
 }
 BENCHMARK(BM_SchedulerReplay);
 
+/** The unbatched accounting path of the same replay: every slot
+ *  flush charges the wide accumulators immediately.  The CI perf
+ *  floor asserts the batched default stays >= 2x this per item. */
+void
+BM_SchedulerReplayScalar(benchmark::State &state)
+{
+    WorkloadSet workload;
+    Scheduler sched{SchedulerConfig{}};
+    sched.setBatchedAccounting(false);
+    SchedulerReplay replay(sched, SchedReplayConfig{});
+    TraceGenerator gen = workload.generator(0);
+    for (auto _ : state)
+        replay.run(gen, 256);
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SchedulerReplayScalar);
+
 void
 BM_RegFileReplay(benchmark::State &state)
 {
@@ -276,6 +324,24 @@ BM_RegFileReplay(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_RegFileReplay);
+
+/** The unbatched bias-accounting path of the same replay: every
+ *  value change charges the tracker immediately.  The CI perf
+ *  floor asserts the batched default stays >= 2x this per item. */
+void
+BM_RegFileReplayScalar(benchmark::State &state)
+{
+    WorkloadSet workload;
+    RegisterFile rf{RegFileConfig()};
+    rf.enableIsv(true);
+    rf.setBatchedAccounting(false);
+    RegFileReplay replay(rf, RegReplayConfig{});
+    TraceGenerator gen = workload.generator(1);
+    for (auto _ : state)
+        replay.run(gen, 256);
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RegFileReplayScalar);
 
 // ------------------------------------ parallel experiment engine
 

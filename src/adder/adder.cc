@@ -137,6 +137,34 @@ Adder::evaluateBatch(const std::uint64_t a[64],
 }
 
 void
+Adder::evaluateBatchWide(const std::uint64_t *a,
+                         const std::uint64_t *b,
+                         const std::uint64_t *cin_masks,
+                         unsigned net_w,
+                         std::vector<std::uint64_t> &net_words) const
+{
+    assert(net_w == 1 || net_w == 2 || net_w == 4);
+    inputWords_.resize((2 * width_ + 1) * net_w);
+
+    // Per word: transpose that word's 64 operand rows, then scatter
+    // into the interleaved [input * net_w + w] layout the wide
+    // engine consumes.
+    for (unsigned w = 0; w < net_w; ++w) {
+        std::copy(a + w * 64, a + w * 64 + 64, laneScratch_);
+        transpose64x64(laneScratch_);
+        for (unsigned i = 0; i < width_; ++i)
+            inputWords_[i * net_w + w] = laneScratch_[i];
+        std::copy(b + w * 64, b + w * 64 + 64, laneScratch_);
+        transpose64x64(laneScratch_);
+        for (unsigned i = 0; i < width_; ++i)
+            inputWords_[(width_ + i) * net_w + w] = laneScratch_[i];
+        inputWords_[2 * width_ * net_w + w] = cin_masks[w];
+    }
+
+    netlist_.evaluateBatchWide(inputWords_.data(), net_words, net_w);
+}
+
+void
 Adder::batchSums(const std::vector<std::uint64_t> &net_words,
                  std::uint64_t sums[64],
                  std::uint64_t *cout_mask) const

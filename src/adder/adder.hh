@@ -70,6 +70,25 @@ class Adder
                        std::vector<std::uint64_t> &net_words) const;
 
     /**
+     * Multi-word form of evaluateBatch(): evaluate 64 * @p net_w
+     * operand triples in one netlist pass.  @p a and @p b hold
+     * net_w * 64 operand values (word w covers lanes [w * 64,
+     * w * 64 + 64), lane l of word w uses bit l of
+     * @p cin_masks[w]); @p net_words receives net_w interleaved
+     * lane words per net, ready for
+     * PmosAgingTracker::observeBatchWide.  Word w of every net is
+     * bit-for-bit what evaluateBatch() over that word's operands
+     * would produce.  @p net_w must be 1, 2 or 4
+     * (Netlist::preferredBatchWords() picks the fastest).
+     */
+    void evaluateBatchWide(const std::uint64_t *a,
+                           const std::uint64_t *b,
+                           const std::uint64_t *cin_masks,
+                           unsigned net_w,
+                           std::vector<std::uint64_t> &net_words)
+        const;
+
+    /**
      * Extract the 64 per-lane sums (and the carry-out lane mask)
      * from a net-word array produced by evaluateBatch().
      */

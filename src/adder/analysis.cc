@@ -138,28 +138,42 @@ std::vector<double>
 AdderAgingAnalysis::zeroProbsForOperands(
     const std::vector<OperandSample> &ops) const
 {
+    // Chunk by the host's preferred wide-batch width: one netlist
+    // op-stream pass covers net_w * 64 operand samples.  Padding
+    // lanes carry zero operands and are masked out of the
+    // accounting, so the per-device counts -- hence the returned
+    // probabilities -- are identical at every net_w.
+    const unsigned net_w = Netlist::preferredBatchWords();
+    const std::size_t chunk = std::size_t(64) * net_w;
     PmosAgingTracker tracker(adder_.netlist());
     std::vector<std::uint64_t> words;
-    std::uint64_t a[64];
-    std::uint64_t b[64];
-    for (std::size_t begin = 0; begin < ops.size(); begin += 64) {
+    std::uint64_t a[256];
+    std::uint64_t b[256];
+    std::uint64_t cin_masks[4];
+    std::uint64_t lane_masks[4];
+    for (std::size_t begin = 0; begin < ops.size(); begin += chunk) {
         const std::size_t count =
-            std::min<std::size_t>(64, ops.size() - begin);
-        std::uint64_t cin_mask = 0;
+            std::min<std::size_t>(chunk, ops.size() - begin);
+        std::fill(cin_masks, cin_masks + net_w, 0);
         for (std::size_t l = 0; l < count; ++l) {
             const OperandSample &op = ops[begin + l];
             a[l] = op.a;
             b[l] = op.b;
             if (op.cin)
-                cin_mask |= std::uint64_t(1) << l;
+                cin_masks[l / 64] |= std::uint64_t(1) << (l % 64);
         }
-        std::fill(a + count, a + 64, 0);
-        std::fill(b + count, b + 64, 0);
-        const std::uint64_t lane_mask = count == 64
-            ? ~std::uint64_t(0)
-            : (std::uint64_t(1) << count) - 1;
-        adder_.evaluateBatch(a, b, cin_mask, words);
-        tracker.observeBatch(words.data(), lane_mask);
+        std::fill(a + count, a + chunk, 0);
+        std::fill(b + count, b + chunk, 0);
+        for (unsigned w = 0; w < net_w; ++w) {
+            const std::size_t word_lanes = count <= w * 64
+                ? 0
+                : std::min<std::size_t>(64, count - w * 64);
+            lane_masks[w] = word_lanes == 64
+                ? ~std::uint64_t(0)
+                : (std::uint64_t(1) << word_lanes) - 1;
+        }
+        adder_.evaluateBatchWide(a, b, cin_masks, net_w, words);
+        tracker.observeBatchWide(words.data(), net_w, lane_masks);
     }
     return trackerProbs(tracker);
 }

@@ -1,8 +1,10 @@
 #include "cache.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
+#include "common/bitword.hh"
 #include "inversion.hh"
 
 namespace penelope {
@@ -94,9 +96,51 @@ void
 Cache::flushImage(Line &line, Cycle now)
 {
     if (now > line.imageSince) {
-        dataBias_.observe(line.image, now - line.imageSince);
+        const std::uint64_t dt = now - line.imageSince;
+        if (biasBatched_) {
+            const unsigned v = biasCount_;
+            biasImage_[v] = line.image;
+            biasDt_[v] = dt;
+            if (++biasCount_ == 64)
+                drainBiasBatch();
+        } else {
+            dataBias_.observe(line.image, dt);
+        }
         line.imageSince = now;
     }
+}
+
+void
+Cache::drainBiasBatch()
+{
+    const unsigned n = biasCount_;
+    if (n == 0)
+        return;
+    biasCount_ = 0;
+
+    // In-place transpose into the observeBatchWeighted layout; the
+    // parked records are dead once folded.  Padding lanes keep
+    // dt = 0 and contribute nothing.
+    std::uint64_t dt_or = 0;
+    for (unsigned v = 0; v < n; ++v)
+        dt_or |= biasDt_[v];
+    for (unsigned v = n; v < 64; ++v)
+        biasDt_[v] = 0;
+    transpose64x64(biasDt_);
+    const unsigned num_planes = 64 -
+        static_cast<unsigned>(std::countl_zero(dt_or | 1));
+
+    transpose64x64(biasImage_);
+    dataBias_.observeBatchWeighted(biasImage_, nullptr, biasDt_,
+                                   num_planes);
+}
+
+void
+Cache::setBatchedAccounting(bool batched)
+{
+    if (biasBatched_ && !batched)
+        drainBiasBatch();
+    biasBatched_ = batched;
 }
 
 void
@@ -407,6 +451,7 @@ Cache::finalizeDataBias(Cycle now)
 {
     for (auto &line : lines_)
         flushImage(line, now);
+    drainBiasBatch();
     return dataBias_;
 }
 

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "common/duty.hh"
+
 namespace penelope {
 
 PmosAgingTracker::PmosAgingTracker(const Netlist &netlist)
@@ -52,6 +54,55 @@ PmosAgingTracker::observeBatch(const std::uint64_t *net_words,
     totalTime_ += static_cast<std::uint64_t>(
                       std::popcount(lane_mask)) *
         dt;
+}
+
+void
+PmosAgingTracker::observeBatchWeighted(
+    const std::uint64_t *net_words, const std::uint64_t *dt_planes,
+    unsigned num_planes)
+{
+    std::uint64_t batch_time = 0;
+    for (unsigned l = 0; l < num_planes; ++l) {
+        batch_time += static_cast<std::uint64_t>(
+                          std::popcount(dt_planes[l]))
+            << l;
+    }
+    if (batch_time == 0)
+        return;
+    // A lane charges zero-time when its net bit is CLEAR; lanes
+    // with dt = 0 sit in no plane, so the complement's garbage
+    // bits there are harmless.
+    for (std::size_t s = 0; s < slotNet_.size(); ++s) {
+        slotZeroTime_[s] += weightedLaneTime(
+            ~net_words[slotNet_[s]], dt_planes, num_planes);
+    }
+    totalTime_ += batch_time;
+}
+
+void
+PmosAgingTracker::observeBatchWide(const std::uint64_t *net_words,
+                                   unsigned net_w,
+                                   const std::uint64_t *lane_masks,
+                                   std::uint64_t dt)
+{
+    std::uint64_t lanes = 0;
+    for (unsigned w = 0; w < net_w; ++w) {
+        lanes += static_cast<std::uint64_t>(
+            std::popcount(lane_masks[w]));
+    }
+    if (lanes == 0 || dt == 0)
+        return;
+    for (std::size_t s = 0; s < slotNet_.size(); ++s) {
+        const std::uint64_t *words =
+            net_words + std::size_t(slotNet_[s]) * net_w;
+        std::uint64_t zeros = 0;
+        for (unsigned w = 0; w < net_w; ++w) {
+            zeros += static_cast<std::uint64_t>(
+                std::popcount(~words[w] & lane_masks[w]));
+        }
+        slotZeroTime_[s] += zeros * dt;
+    }
+    totalTime_ += lanes * dt;
 }
 
 void

@@ -81,6 +81,29 @@ class PmosAgingTracker
     void observeBatch(const std::uint64_t *net_words,
                       std::uint64_t lane_mask, std::uint64_t dt = 1);
 
+    /**
+     * Weighted form of observeBatch(): each lane carries its own
+     * duration, transposed into @p dt_planes bit-planes (the
+     * weighted-lane representation of common/duty.hh).  Lanes with
+     * dt = 0 contribute nothing.  Exactly equivalent to one
+     * observe() per lane with that lane's dt.
+     */
+    void observeBatchWeighted(const std::uint64_t *net_words,
+                              const std::uint64_t *dt_planes,
+                              unsigned num_planes);
+
+    /**
+     * Wide form of observeBatch() for the W-word netlist engine
+     * (Netlist::evaluateBatchWide): @p net_words holds @p net_w
+     * lane words per net, interleaved [net * net_w + w], and
+     * @p lane_masks selects the valid lanes of each word.  Exactly
+     * equivalent to net_w single-word observeBatch() calls.
+     */
+    void observeBatchWide(const std::uint64_t *net_words,
+                          unsigned net_w,
+                          const std::uint64_t *lane_masks,
+                          std::uint64_t dt = 1);
+
     /** Evaluate and observe an input vector in one step. */
     void applyInput(const std::vector<bool> &input_values,
                     std::uint64_t dt = 1);

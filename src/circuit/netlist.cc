@@ -253,6 +253,114 @@ Netlist::evaluateBatch(const std::uint64_t *input_words,
     }
 }
 
+template <unsigned W>
+void
+Netlist::evaluateBatchImpl(const std::uint64_t *input_words,
+                           std::uint64_t *net_words) const
+{
+    // Identical structure to evaluateBatch(), with W consecutive
+    // lane words per net ([net * W + w] interleaving).  Each word
+    // is computed with exactly the ops evaluateBatch() would use,
+    // so lane values are bit-identical at every width.
+    std::uint64_t *w = net_words;
+    for (const CompiledOp &op : ops_) {
+        std::uint64_t *out = w + std::size_t(op.out) * W;
+        const std::uint64_t *a = w + std::size_t(op.a) * W;
+        const std::uint64_t *b = w + std::size_t(op.b) * W;
+        switch (op.kind) {
+          case CompiledOp::Kind::Input: {
+            const std::uint64_t *in =
+                input_words + std::size_t(op.a) * W;
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = in[k];
+            break;
+          }
+          case CompiledOp::Kind::Const0:
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = 0;
+            break;
+          case CompiledOp::Kind::Const1:
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = ~std::uint64_t(0);
+            break;
+          case CompiledOp::Kind::Inv:
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = ~a[k];
+            break;
+          case CompiledOp::Kind::Nand2:
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = ~(a[k] & b[k]);
+            break;
+          case CompiledOp::Kind::Nor2:
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = ~(a[k] | b[k]);
+            break;
+          case CompiledOp::Kind::NandK: {
+            std::uint64_t all[W];
+            for (unsigned k = 0; k < W; ++k)
+                all[k] = a[k] & b[k];
+            for (std::uint32_t e = 0; e < op.extraCount; ++e) {
+                const std::uint64_t *x = w +
+                    std::size_t(extraFanins_[op.extra + e]) * W;
+                for (unsigned k = 0; k < W; ++k)
+                    all[k] &= x[k];
+            }
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = ~all[k];
+            break;
+          }
+          case CompiledOp::Kind::NorK: {
+            std::uint64_t any[W];
+            for (unsigned k = 0; k < W; ++k)
+                any[k] = a[k] | b[k];
+            for (std::uint32_t e = 0; e < op.extraCount; ++e) {
+                const std::uint64_t *x = w +
+                    std::size_t(extraFanins_[op.extra + e]) * W;
+                for (unsigned k = 0; k < W; ++k)
+                    any[k] |= x[k];
+            }
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = ~any[k];
+            break;
+          }
+          case CompiledOp::Kind::TgPass:
+            for (unsigned k = 0; k < W; ++k)
+                out[k] = a[k] ^ b[k];
+            break;
+        }
+    }
+}
+
+// netlist_simd.cc dispatches back to the 4-word portable loop when
+// the AVX2 kernel is not compiled in.
+template void Netlist::evaluateBatchImpl<4>(
+    const std::uint64_t *, std::uint64_t *) const;
+
+void
+Netlist::evaluateBatchWide(const std::uint64_t *input_words,
+                           std::vector<std::uint64_t> &net_words,
+                           unsigned net_w) const
+{
+    assert(finalized_);
+    assert(net_w == 1 || net_w == 2 || net_w == 4);
+    net_words.resize(producers_.size() * net_w);
+    std::uint64_t *w = net_words.data();
+    switch (net_w) {
+      case 1:
+        evaluateBatchImpl<1>(input_words, w);
+        break;
+      case 2:
+        evaluateBatchImpl<2>(input_words, w);
+        break;
+      default:
+        if (avx2Supported())
+            evaluateBatchAvx2(input_words, w);
+        else
+            evaluateBatchImpl<4>(input_words, w);
+        break;
+    }
+}
+
 void
 Netlist::compile()
 {

@@ -158,6 +158,32 @@ class Netlist
                        std::vector<std::uint64_t> &net_words) const;
 
     /**
+     * Evaluate up to 64 * @p net_w input vectors at once: the
+     * multi-word generalisation of evaluateBatch().  @p input_words
+     * holds @p net_w lane words per primary input, interleaved
+     * [input * net_w + w]; @p net_words is resized to
+     * numSignals() * net_w with the same interleaving.  Word w of
+     * every net is bit-for-bit what evaluateBatch() over the
+     * inputs' w-th words would produce: the wide engine (and the
+     * AVX2 kernel, when built in and supported by the host) only
+     * changes how many lanes one op-stream pass covers, never any
+     * lane's value.  @p net_w must be 1, 2 or 4.
+     */
+    void evaluateBatchWide(const std::uint64_t *input_words,
+                           std::vector<std::uint64_t> &net_words,
+                           unsigned net_w) const;
+
+    /** Preferred evaluateBatchWide word count on this host: 4
+     *  where the AVX2 kernel is compiled in and the CPU supports
+     *  it, else 2 (the portable wide loop still amortises the op
+     *  stream decode over more lanes than one word). */
+    static unsigned preferredBatchWords();
+
+    /** Whether the AVX2 kernel is compiled in and usable on this
+     *  host (false in PENELOPE_ENABLE_AVX2=OFF builds). */
+    static bool avx2Supported();
+
+    /**
      * Finalise the netlist: derive fanout counts, assign width
      * classes (gates with output fanout >= @p wide_fanout become
      * wide) and extract the PMOS device list.  Must be called before
@@ -212,6 +238,16 @@ class Netlist
 
     /** Build ops_/extraFanins_ from gates_ (part of finalize()). */
     void compile();
+
+    /** Portable W-word op-stream pass (W lane words per net). */
+    template <unsigned W>
+    void evaluateBatchImpl(const std::uint64_t *input_words,
+                           std::uint64_t *net_words) const;
+
+    /** AVX2 4-word pass (netlist_simd.cc; falls back to the
+     *  portable loop when the kernel is not compiled in). */
+    void evaluateBatchAvx2(const std::uint64_t *input_words,
+                           std::uint64_t *net_words) const;
 
     std::vector<Gate> gates_;
     std::vector<CompiledOp> ops_;

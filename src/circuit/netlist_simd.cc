@@ -1,0 +1,136 @@
+/**
+ * @file
+ * AVX2 kernel for the 4-word netlist pass, plus the host capability
+ * probe.  Kept in its own translation unit so the vector code is
+ * gated by one compile definition (PENELOPE_ENABLE_AVX2) and one
+ * runtime check: every other file stays ISA-agnostic, and builds
+ * with the option off link a fallback that forwards to the portable
+ * 4-word loop.  Both kernels compute bitwise ops on the same words,
+ * so the choice can never change a lane's value.
+ */
+
+#include "netlist.hh"
+
+#if defined(PENELOPE_ENABLE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace penelope {
+
+bool
+Netlist::avx2Supported()
+{
+#if defined(PENELOPE_ENABLE_AVX2)
+    static const bool supported = __builtin_cpu_supports("avx2");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+unsigned
+Netlist::preferredBatchWords()
+{
+    return avx2Supported() ? 4 : 2;
+}
+
+#if defined(PENELOPE_ENABLE_AVX2)
+
+namespace {
+
+// A lambda would not inherit the enclosing function's target
+// attribute, so the unaligned load lives in its own AVX2 helper.
+__attribute__((target("avx2"))) inline __m256i
+load(const std::uint64_t *p)
+{
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(p));
+}
+
+} // namespace
+
+__attribute__((target("avx2"))) void
+Netlist::evaluateBatchAvx2(const std::uint64_t *input_words,
+                           std::uint64_t *net_words) const
+{
+    constexpr unsigned W = 4;
+    std::uint64_t *w = net_words;
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    for (const CompiledOp &op : ops_) {
+        std::uint64_t *out = w + std::size_t(op.out) * W;
+        __m256i r = _mm256_setzero_si256();
+        switch (op.kind) {
+          case CompiledOp::Kind::Input:
+            r = load(input_words + std::size_t(op.a) * W);
+            break;
+          case CompiledOp::Kind::Const0:
+            r = _mm256_setzero_si256();
+            break;
+          case CompiledOp::Kind::Const1:
+            r = ones;
+            break;
+          case CompiledOp::Kind::Inv:
+            r = _mm256_xor_si256(load(w + std::size_t(op.a) * W),
+                                 ones);
+            break;
+          case CompiledOp::Kind::Nand2:
+            r = _mm256_xor_si256(
+                _mm256_and_si256(load(w + std::size_t(op.a) * W),
+                                 load(w + std::size_t(op.b) * W)),
+                ones);
+            break;
+          case CompiledOp::Kind::Nor2:
+            r = _mm256_xor_si256(
+                _mm256_or_si256(load(w + std::size_t(op.a) * W),
+                                load(w + std::size_t(op.b) * W)),
+                ones);
+            break;
+          case CompiledOp::Kind::NandK: {
+            __m256i all =
+                _mm256_and_si256(load(w + std::size_t(op.a) * W),
+                                 load(w + std::size_t(op.b) * W));
+            for (std::uint32_t e = 0; e < op.extraCount; ++e) {
+                all = _mm256_and_si256(
+                    all,
+                    load(w + std::size_t(
+                                 extraFanins_[op.extra + e]) *
+                             W));
+            }
+            r = _mm256_xor_si256(all, ones);
+            break;
+          }
+          case CompiledOp::Kind::NorK: {
+            __m256i any =
+                _mm256_or_si256(load(w + std::size_t(op.a) * W),
+                                load(w + std::size_t(op.b) * W));
+            for (std::uint32_t e = 0; e < op.extraCount; ++e) {
+                any = _mm256_or_si256(
+                    any,
+                    load(w + std::size_t(
+                                 extraFanins_[op.extra + e]) *
+                             W));
+            }
+            r = _mm256_xor_si256(any, ones);
+            break;
+          }
+          case CompiledOp::Kind::TgPass:
+            r = _mm256_xor_si256(load(w + std::size_t(op.a) * W),
+                                 load(w + std::size_t(op.b) * W));
+            break;
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), r);
+    }
+}
+
+#else // !PENELOPE_ENABLE_AVX2
+
+void
+Netlist::evaluateBatchAvx2(const std::uint64_t *input_words,
+                           std::uint64_t *net_words) const
+{
+    evaluateBatchImpl<4>(input_words, net_words);
+}
+
+#endif
+
+} // namespace penelope

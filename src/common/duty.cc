@@ -174,6 +174,57 @@ BitBiasTracker::observeBatch(const std::uint64_t *bit_words,
     totalTime_ += static_cast<std::uint64_t>(lanes) * dt;
 }
 
+void
+BitBiasTracker::observeBatchWeighted(const std::uint64_t *bit_words,
+                                     const std::uint64_t *dt_planes,
+                                     unsigned num_planes)
+{
+    // Total time of the batch: every lane contributes its dt to
+    // every bit's total, and the planes are exactly the lanes' dt
+    // values transposed.
+    std::uint64_t batch_time = 0;
+    for (unsigned l = 0; l < num_planes; ++l) {
+        batch_time += static_cast<std::uint64_t>(
+                          std::popcount(dt_planes[l]))
+            << l;
+    }
+    if (batch_time == 0)
+        return;
+    // Per bit, the lanes holding "1" each contribute their own dt
+    // of one-time.  Same integers as per-lane observe() calls --
+    // addition commutes -- so all derived statistics match the
+    // scalar path bit for bit.
+    for (unsigned b = 0; b < width_; ++b) {
+        one_.addBitWeighted(b, bit_words[b], dt_planes,
+                            num_planes);
+    }
+    totalTime_ += batch_time;
+}
+
+void
+BitBiasTracker::observeBatchWeighted(const std::uint64_t *lo_words,
+                                     const std::uint64_t *hi_words,
+                                     const std::uint64_t *dt_planes,
+                                     unsigned num_planes)
+{
+    std::uint64_t batch_time = 0;
+    for (unsigned l = 0; l < num_planes; ++l) {
+        batch_time += static_cast<std::uint64_t>(
+                          std::popcount(dt_planes[l]))
+            << l;
+    }
+    if (batch_time == 0)
+        return;
+    const unsigned lo_bits = width_ < 64 ? width_ : 64;
+    for (unsigned b = 0; b < lo_bits; ++b)
+        one_.addBitWeighted(b, lo_words[b], dt_planes, num_planes);
+    for (unsigned b = 64; b < width_; ++b) {
+        one_.addBitWeighted(b, hi_words[b - 64], dt_planes,
+                            num_planes);
+    }
+    totalTime_ += batch_time;
+}
+
 double
 BitBiasTracker::probability(std::uint64_t one_time) const
 {

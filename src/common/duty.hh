@@ -56,6 +56,39 @@
 namespace penelope {
 
 /**
+ * Weighted-lane representation: the batched replay drivers describe
+ * up to 64 observations (lanes) at once as
+ *
+ *  - per tracked bit b, a *lane word*: bit v is the value of bit b
+ *    in observation v (the transpose64x64 layout); and
+ *  - the observations' durations transposed into *dt bit-planes*:
+ *    bit v of plane l is bit l of observation v's dt.
+ *
+ * The total time the selected bits of lane word X spent set is then
+ *
+ *    weightedLaneTime(X, planes, n) =
+ *        sum_l popcount(X & planes[l]) << l
+ *
+ * an exact (modular) integer identical to summing dt_v over the set
+ * lanes one by one.  Padding lanes of a partial batch carry dt = 0,
+ * appear in no plane, and so contribute nothing -- their lane-word
+ * bits may be garbage.
+ */
+inline std::uint64_t
+weightedLaneTime(std::uint64_t lane_word,
+                 const std::uint64_t *dt_planes,
+                 unsigned num_planes)
+{
+    std::uint64_t total = 0;
+    for (unsigned l = 0; l < num_planes; ++l) {
+        total += static_cast<std::uint64_t>(
+                     std::popcount(lane_word & dt_planes[l]))
+            << l;
+    }
+    return total;
+}
+
+/**
  * Accumulates the amount of time a single digital signal spends at
  * logic "0" vs logic "1".
  */
@@ -170,6 +203,42 @@ class MaskedTimeAccumulator
     {
         assert(bit < width_);
         time_[bit] += dt;
+    }
+
+    /**
+     * Add @p dt to *every* bit's counter at once via the shared
+     * base.  Combined with subBit() this gives the batched drains
+     * the same complement-split idiom the dense add() path uses:
+     * charge the batch's total time to everyone, then subtract the
+     * lanes that held "1" per bit.  Exact modular arithmetic, so
+     * the sums match the per-event form bit for bit.
+     */
+    void addBase(std::uint64_t dt) { base_ += dt; }
+
+    /** Subtract @p dt from one bit's counter (modular; pairs with
+     *  addBase() in the batched complement-split drains). */
+    void
+    subBit(unsigned bit, std::uint64_t dt)
+    {
+        assert(bit < width_);
+        time_[bit] -= dt;
+    }
+
+    /**
+     * Charge one bit from a weighted batch of up to 64 lanes: the
+     * lanes set in @p lane_word each contribute their own dt, given
+     * transposed as @p dt_planes (see weightedLaneTime()).  Exactly
+     * equivalent to one addBit(bit, dt_v) per set lane v.
+     */
+    void
+    addBitWeighted(unsigned bit, std::uint64_t lane_word,
+                   const std::uint64_t *dt_planes,
+                   unsigned num_planes)
+    {
+        if (lane_word) {
+            addBit(bit, weightedLaneTime(lane_word, dt_planes,
+                                         num_planes));
+        }
     }
 
     /** Accumulated time of one bit. */
@@ -369,6 +438,31 @@ class BitBiasTracker
     void observeBatch(const std::uint64_t *bit_words,
                       std::uint64_t lane_mask,
                       std::uint64_t dt = 1);
+
+    /**
+     * Weighted form of observeBatch(): each lane carries its own
+     * duration, transposed into @p dt_planes bit-planes (bit v of
+     * plane l is bit l of lane v's dt -- the weighted-lane
+     * representation described at the top of this file).  Lanes
+     * with dt = 0 (padding of a partial batch) contribute nothing;
+     * their bits in @p bit_words may be garbage.  Exactly
+     * equivalent to one observe(value_v, dt_v) per lane.
+     */
+    void observeBatchWeighted(const std::uint64_t *bit_words,
+                              const std::uint64_t *dt_planes,
+                              unsigned num_planes);
+
+    /**
+     * Split-plane form of observeBatchWeighted for callers whose
+     * low and high value columns live in separate 64-word arrays
+     * (transposed in place): bits [0, 64) read @p lo_words, bits
+     * [64, width) read @p hi_words.  @p hi_words may be null when
+     * width() <= 64.
+     */
+    void observeBatchWeighted(const std::uint64_t *lo_words,
+                              const std::uint64_t *hi_words,
+                              const std::uint64_t *dt_planes,
+                              unsigned num_planes);
 
     /** Per-bit zero probability. */
     double zeroProbability(unsigned bit) const;

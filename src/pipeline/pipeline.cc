@@ -148,7 +148,8 @@ void
 Pipeline::doIssue(Cycle now)
 {
     for (unsigned port = 0; port < 5; ++port) {
-        for (auto &f : rob_) {
+        for (std::size_t i = 0; i < rob_.size(); ++i) {
+            InFlight &f = rob_[i];
             if (f.issued)
                 continue;
             if (!canIssueOn(f.uop.cls, f.boundPort, port))
@@ -285,7 +286,8 @@ Pipeline::run(TraceGenerator &gen, std::size_t num_uops)
         allocsThisCycle_ = 0;
 
         // Completions.
-        for (auto &f : rob_) {
+        for (std::size_t i = 0; i < rob_.size(); ++i) {
+            InFlight &f = rob_[i];
             if (f.issued && !f.completed && f.completeAt <= now) {
                 f.completed = true;
                 if (f.dstPhys >= 0) {

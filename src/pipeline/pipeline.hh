@@ -19,11 +19,11 @@
 #define PENELOPE_PIPELINE_PIPELINE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "cache/timing.hh"
+#include "common/ring.hh"
 #include "regfile/regfile.hh"
 #include "scheduler/scheduler.hh"
 #include "trace/generator.hh"
@@ -164,7 +164,9 @@ class Pipeline
     std::vector<bool> intReady_;
     std::vector<bool> fpReady_;
 
-    std::deque<InFlight> rob_;
+    /** In-order ROB window (bounded by robEntries), kept in a flat
+     *  ring: issue and completion scan it every cycle. */
+    RingQueue<InFlight> rob_;
 
     /** Redirect stall: allocation blocked until this cycle. */
     Cycle allocBlockedUntil_ = 0;

@@ -16,8 +16,8 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 
+#include "common/ring.hh"
 #include "common/rng.hh"
 #include "regfile.hh"
 #include "trace/generator.hh"
@@ -72,7 +72,11 @@ class RegFileReplay
     {
         Cycle now = clock_;
         for (std::size_t i = 0; i < num_uops; ++i, ++now) {
-            drainReleases(now, false);
+            // Inline front-due guard: most cycles have no release
+            // due, so the out-of-line drain loop is only entered
+            // when the oldest pending entry has matured.
+            if (!pending_.empty() && pending_.front().due <= now)
+                drainReleases(now, false);
             const Uop uop = gen.next();
             if (!uop.writesReg())
                 continue;
@@ -124,7 +128,12 @@ class RegFileReplay
     RegReplayConfig config_;
     Rng rng_;
     std::vector<int> archMap_;
-    std::deque<PendingRelease> pending_;
+
+    /** Commit-delay window of not-yet-released physical registers
+     *  (bounded by the register count: each pending slot names a
+     *  distinct busy entry), kept in a flat ring -- it is pushed
+     *  and polled every simulated cycle. */
+    RingQueue<PendingRelease> pending_;
     RegReplayResult result_;
 
     /** Persistent clock: successive run() calls continue time so a

@@ -9,6 +9,24 @@ SchedulerReplay::SchedulerReplay(Scheduler &scheduler,
     : sched_(scheduler), config_(config), rng_(config.seed)
 {
     releaseAt_.assign(sched_.numEntries(), 0);
+    useWheel_ = sched_.numEntries() <= 64;
+}
+
+void
+SchedulerReplay::promoteFar(Cycle now)
+{
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < far_.size(); ++i) {
+        const unsigned e = far_[i];
+        // Far entries are never due yet (they are promoted at the
+        // last wheel-period boundary before their release cycle),
+        // so the distance is a plain unsigned difference.
+        if (releaseAt_[e] - now < 64)
+            wheel_[releaseAt_[e] & 63] |= std::uint64_t(1) << e;
+        else
+            far_[keep++] = e;
+    }
+    far_.resize(keep);
 }
 
 RenameTags

@@ -14,6 +14,8 @@
 #define PENELOPE_SCHEDULER_DRIVER_HH
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -77,14 +79,38 @@ class SchedulerReplay
         double &arrival_acc = arrivalAcc_;
 
         while (consumed < num_uops) {
-            // Releases due this cycle.
-            for (unsigned e = 0; e < releaseAt_.size(); ++e) {
-                if (releaseAt_[e] != 0 && releaseAt_[e] <= now) {
+            // Releases due this cycle.  The calendar wheel holds
+            // each pending entry whose release falls inside the
+            // next 64 cycles in the bucket of its due cycle, so a
+            // cycle reads one word instead of scanning every slot;
+            // entries further out wait in far_ and are promoted at
+            // wheel-period boundaries, always before they fall due.
+            // Due entries are drained in ascending slot order -- the
+            // order the linear scan releases them -- so the RNG
+            // draw sequence is unchanged.
+            if (useWheel_) {
+                if ((now & 63) == 0 && !far_.empty())
+                    promoteFar(now);
+                std::uint64_t due = wheel_[now & 63];
+                wheel_[now & 63] = 0;
+                for (; due; due &= due - 1) {
+                    const unsigned e = static_cast<unsigned>(
+                        std::countr_zero(due));
                     sched_.release(
                         e, now,
                         rng_.nextBool(config_.portFreeProb));
                     releaseAt_[e] = 0;
                     ++result.released;
+                }
+            } else {
+                for (unsigned e = 0; e < releaseAt_.size(); ++e) {
+                    if (releaseAt_[e] != 0 && releaseAt_[e] <= now) {
+                        sched_.release(
+                            e, now,
+                            rng_.nextBool(config_.portFreeProb));
+                        releaseAt_[e] = 0;
+                        ++result.released;
+                    }
                 }
             }
 
@@ -112,8 +138,17 @@ class SchedulerReplay
                 const Cycle residence = 1 +
                     rng_.nextGeometric(
                         1.0 / config_.meanResidence);
-                releaseAt_[static_cast<unsigned>(entry)] =
-                    now + residence;
+                const Cycle at = now + residence;
+                releaseAt_[static_cast<unsigned>(entry)] = at;
+                if (useWheel_) {
+                    if (residence < 64) {
+                        wheel_[at & 63] |= std::uint64_t(1)
+                            << static_cast<unsigned>(entry);
+                    } else {
+                        far_.push_back(
+                            static_cast<unsigned>(entry));
+                    }
+                }
             }
             if (stalled) {
                 ++result.stallCycles;
@@ -124,7 +159,9 @@ class SchedulerReplay
             ++now;
         }
 
-        // Drain outstanding entries.
+        // Drain outstanding entries (releaseAt_ stays authoritative
+        // for the wheel, so the drain scan and its RNG draw order
+        // are identical either way).
         for (unsigned e = 0; e < releaseAt_.size(); ++e) {
             if (releaseAt_[e] != 0) {
                 const Cycle at = std::max(now, releaseAt_[e]);
@@ -134,6 +171,10 @@ class SchedulerReplay
                 releaseAt_[e] = 0;
                 ++result.released;
             }
+        }
+        if (useWheel_) {
+            wheel_.fill(0);
+            far_.clear();
         }
 
         clock_ = now;
@@ -145,10 +186,23 @@ class SchedulerReplay
   private:
     RenameTags nextTags(const Uop &uop);
 
+    /** Move far-off pending releases whose due cycle now falls
+     *  inside the wheel window into their buckets. */
+    void promoteFar(Cycle now);
+
     Scheduler &sched_;
     SchedReplayConfig config_;
     Rng rng_;
     std::vector<Cycle> releaseAt_; ///< per entry; 0 = free
+
+    /** Calendar wheel over the next 64 cycles: bucket c is an
+     *  entry-bit mask of releases due at cycles congruent to c
+     *  (mod 64).  Only used when every entry fits one mask word;
+     *  larger schedulers keep the linear scan. */
+    std::array<std::uint64_t, 64> wheel_{};
+    std::vector<unsigned> far_; ///< pending releases >= 64 cycles out
+    bool useWheel_ = false;
+
     std::uint8_t tagCounter_ = 0;
 
     /** Persistent clock so successive run() calls continue time. */

@@ -1,23 +1,83 @@
 #include "scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
+#include "common/bitword.hh"
+
+#if defined(PENELOPE_ENABLE_AVX2)
+#include <immintrin.h>
+#endif
+
 namespace penelope {
+
+namespace {
+
+/**
+ * Table-2 layout constants for the fused allocate path: the packed
+ * offset of every field is fixed (fields.cc asserts the 144/132-bit
+ * totals), so one uop's whole 144-bit image can be composed with
+ * shifts into three words instead of 18 spec lookups and
+ * read-modify-write deposits.  The Scheduler constructor asserts
+ * each offset against the authoritative layout.
+ */
+constexpr unsigned kValidOff = 0;    // 1 bit
+constexpr unsigned kLatencyOff = 1;  // 5 bits
+constexpr unsigned kPortOff = 6;     // 5 bits
+constexpr unsigned kTakenOff = 11;   // 1 bit
+constexpr unsigned kMobIdOff = 12;   // 6 bits
+constexpr unsigned kTosOff = 18;     // 3 bits
+constexpr unsigned kFlagsOff = 21;   // 6 bits
+constexpr unsigned kShift1Off = 27;  // 1 bit
+constexpr unsigned kShift2Off = 28;  // 1 bit
+constexpr unsigned kDstTagOff = 29;  // 7 bits
+constexpr unsigned kSrc1TagOff = 36; // 7 bits
+constexpr unsigned kSrc2TagOff = 43; // 7 bits
+constexpr unsigned kReady1Off = 50;  // 1 bit
+constexpr unsigned kReady2Off = 51;  // 1 bit
+constexpr unsigned kSrc1DataOff = 52; // 32 bits (straddles w0/w1)
+constexpr unsigned kSrc2DataOff = 84; // 32 bits (in w1)
+constexpr unsigned kImmOff = 116;     // 16 bits (straddles w1/w2)
+constexpr unsigned kOpcodeOff = 132;  // 12 bits (in w2)
+
+constexpr unsigned kSrc1DataField = 14;
+constexpr unsigned kSrc2DataField = 15;
+constexpr unsigned kImmField = 16;
+
+/** Every field except the three conditionally-used capture fields
+ *  (Src1Data / Src2Data / Imm) holds live data in a busy slot. */
+constexpr std::uint32_t kAlwaysUsedFields = 0x3ffffu &
+    ~((std::uint32_t(1) << kSrc1DataField) |
+      (std::uint32_t(1) << kSrc2DataField) |
+      (std::uint32_t(1) << kImmField));
+
+// Per-word bit masks of the always-used fields and of each
+// conditional field, in the packed layout.
+constexpr std::uint64_t kAlwaysMaskW0 =
+    (std::uint64_t(1) << kSrc1DataOff) - 1; // bits 0..51
+constexpr std::uint64_t kAlwaysMaskW2 = 0xfffull << 4; // opcode
+constexpr std::uint64_t kSrc1MaskW0 = ~kAlwaysMaskW0; // bits 52..63
+constexpr std::uint64_t kSrc1MaskW1 = (std::uint64_t(1) << 20) - 1;
+constexpr std::uint64_t kSrc2MaskW1 = 0xffffffffull << 20;
+constexpr std::uint64_t kImmMaskW1 = 0xfffull << 52;
+constexpr std::uint64_t kImmMaskW2 = 0xfull;
+
+} // namespace
 
 Scheduler::Scheduler(const SchedulerConfig &config)
     : config_(config),
       zeroTotal_(fieldLayout().totalBits()),
-      busyZero_(fieldLayout().totalBits()),
-      busyTime_(fieldLayout().totalBits())
+      busyZero_(fieldLayout().totalBits())
 {
     const FieldLayout &layout = fieldLayout();
     assert(layout.totalBits() <= MaskedTimeAccumulator::kMaxWidth);
     assert(layout.count() <= 32); // holdsInverted is a 32-bit mask
     entries_.resize(config_.numEntries);
+    freeList_.resize(config_.numEntries);
     for (unsigned i = 0; i < config_.numEntries; ++i)
-        freeList_.push_back(i);
+        freeList_[i] = i;
 
     decisions_.assign(layout.totalBits(), BitDecision{});
     dutyGens_.assign(layout.totalBits(), DutyGenerator(1.0));
@@ -50,12 +110,42 @@ Scheduler::Scheduler(const SchedulerConfig &config)
     fieldInvertedTime_.assign(layout.count(), 0);
     fieldHasIsv_.assign(layout.count(), false);
     rebuildRepairPlans();
+
+    // The fused allocate path composes images from the layout
+    // constants above; pin them to the authoritative layout.
+    assert(layout.spec(FieldId::Valid).offset == kValidOff);
+    assert(layout.spec(FieldId::Latency).offset == kLatencyOff);
+    assert(layout.spec(FieldId::Port).offset == kPortOff);
+    assert(layout.spec(FieldId::Taken).offset == kTakenOff);
+    assert(layout.spec(FieldId::MobId).offset == kMobIdOff);
+    assert(layout.spec(FieldId::Tos).offset == kTosOff);
+    assert(layout.spec(FieldId::Flags).offset == kFlagsOff);
+    assert(layout.spec(FieldId::Shift1).offset == kShift1Off);
+    assert(layout.spec(FieldId::Shift2).offset == kShift2Off);
+    assert(layout.spec(FieldId::DstTag).offset == kDstTagOff);
+    assert(layout.spec(FieldId::Src1Tag).offset == kSrc1TagOff);
+    assert(layout.spec(FieldId::Src2Tag).offset == kSrc2TagOff);
+    assert(layout.spec(FieldId::Ready1).offset == kReady1Off);
+    assert(layout.spec(FieldId::Ready2).offset == kReady2Off);
+    assert(layout.spec(FieldId::Src1Data).offset == kSrc1DataOff);
+    assert(layout.spec(FieldId::Src2Data).offset == kSrc2DataOff);
+    assert(layout.spec(FieldId::Imm).offset == kImmOff);
+    assert(layout.spec(FieldId::Opcode).offset == kOpcodeOff);
+    assert(static_cast<unsigned>(FieldId::Src1Data) ==
+           kSrc1DataField);
+    assert(static_cast<unsigned>(FieldId::Src2Data) ==
+           kSrc2DataField);
+    assert(static_cast<unsigned>(FieldId::Imm) == kImmField);
+    assert(layout.spec(FieldId::Valid).width == 1);
+
+    deferRelease_ = config_.numEntries <= 64;
 }
 
 void
 Scheduler::configureProtection(std::vector<BitDecision> decisions)
 {
     assert(decisions.size() == fieldLayout().totalBits());
+    foldBatch();
     decisions_ = std::move(decisions);
     for (unsigned b = 0; b < decisions_.size(); ++b)
         dutyGens_[b].setK(decisions_[b].k);
@@ -137,40 +227,498 @@ Scheduler::depositField(Entry &e, unsigned field,
 }
 
 void
-Scheduler::setFieldInUse(Entry &e, unsigned field, bool in_use)
+Scheduler::flushEntry(Entry &e, Cycle now)
 {
-    const LayoutWords &mask = fieldMasks_[field];
-    for (unsigned w = 0; w < kLayoutWords; ++w) {
-        if (in_use)
-            e.inUse[w] |= mask[w];
-        else
-            e.inUse[w] &= ~mask[w];
+    const std::uint64_t dt = now > e.since ? now - e.since : 0;
+    const std::uint64_t pend = e.pendingBusyDt;
+    if (dt == 0 && pend == 0)
+        return;
+    if (batched_) {
+        // Defer the wide accumulator adds: park the image, the
+        // durations and the in-use group lanes in the record batch.
+        // Everything a decision reads mid-run (entryTime_, the ISV
+        // balance meters, the timestamp) is still charged eagerly,
+        // so repair behaviour -- and with it the RNG draw stream --
+        // cannot depend on batching.
+        const unsigned v = batchCount_;
+        for (unsigned w = 0; w < kLayoutWords; ++w)
+            batchImage_[v][w] = e.image[w];
+        // A busy flush has all the always-used fields live (the
+        // fused allocate deposits them as one group), so per-field
+        // lanes reduce to one busy mask plus the three capture
+        // fields' own masks.
+        const std::uint32_t uf = e.inUseFields;
+        assert(uf == 0 ||
+               (uf & kAlwaysUsedFields) == kAlwaysUsedFields);
+        const std::uint64_t lane = std::uint64_t(1) << v;
+        if (pend) {
+            // Merged record: the deferred busy span plus the idle
+            // span since.  The parked image (valid still up) stands
+            // for both -- an unprotected release changes nothing
+            // else -- and the valid bit's idle zero-time is
+            // credited at fold.  Converting the entry here is the
+            // release epilogue the eager path ran at release time.
+            assert(uf != 0);
+            batchDt_[v] = pend + dt;
+            batchBusyDt_[v] = pend;
+            validIdleGrand_ += dt;
+            e.pendingBusyDt = 0;
+            pendingMask_ &= ~(std::uint64_t(1) << (&e - entries_.data()));
+            e.inUse = LayoutWords{};
+            e.inUseFields = 0;
+            e.image[0] &= ~std::uint64_t(1); // valid drop (bit 0)
+        } else {
+            batchDt_[v] = dt;
+            batchBusyDt_[v] = uf ? dt : 0;
+        }
+        if (uf) {
+            batchBusy_ |= lane;
+            if (uf & (std::uint32_t(1) << kSrc1DataField))
+                batchS1_ |= lane;
+            if (uf & (std::uint32_t(1) << kSrc2DataField))
+                batchS2_ |= lane;
+            if (uf & (std::uint32_t(1) << kImmField))
+                batchImm_ |= lane;
+        }
+        if (++batchCount_ == kBatchDepth)
+            drainBatch();
+    } else {
+        assert(pend == 0); // leaving batched mode sweeps deferrals
+        std::uint64_t zero[kLayoutWords];
+        for (unsigned w = 0; w < kLayoutWords; ++w)
+            zero[w] = ~e.image[w] & layoutMask_[w];
+        zeroTotal_.add(zero, dt);
+        if (e.inUseFields) {
+            std::uint64_t busy_zero[kLayoutWords];
+            for (unsigned w = 0; w < kLayoutWords; ++w)
+                busy_zero[w] = zero[w] & e.inUse[w];
+            busyZero_.add(busy_zero, dt);
+            for (std::uint32_t m = e.inUseFields; m; m &= m - 1) {
+                fieldBusyTime_[static_cast<unsigned>(
+                    std::countr_zero(m))] += dt;
+            }
+        }
+    }
+    entryTime_ += dt;
+    if (dt) {
+        for (std::uint32_t m = e.holdsInverted; m; m &= m - 1) {
+            fieldInvertedTime_[static_cast<unsigned>(
+                std::countr_zero(m))] += dt;
+        }
+    }
+    e.since = now;
+}
+
+namespace {
+
+/**
+ * Carry-save add of a 3-word bit mask into a bit-sliced counter
+ * bank at weight 2^level: positions set in the mask gain 2^level in
+ * their per-bit binary counter.  A ripple step is three ANDs and
+ * three XORs; binary-counter amortisation makes it O(1) levels per
+ * add.  Carries past the top level drop -- the counters sum mod
+ * 2^64, the same wrap-around the accumulators have.
+ */
+inline void
+bankAdd(std::uint64_t (*bank)[3], unsigned level, std::uint64_t m0,
+        std::uint64_t m1, std::uint64_t m2)
+{
+    while ((m0 | m1 | m2) != 0 && level < 64) {
+        std::uint64_t *row = bank[level];
+        const std::uint64_t c0 = row[0] & m0;
+        const std::uint64_t c1 = row[1] & m1;
+        const std::uint64_t c2 = row[2] & m2;
+        row[0] ^= m0;
+        row[1] ^= m1;
+        row[2] ^= m2;
+        m0 = c0;
+        m1 = c1;
+        m2 = c2;
+        ++level;
+    }
+}
+
+/**
+ * Three-word carry-save accumulator: batches up to eight
+ * equally-weighted mask adds in registers before touching the
+ * memory bank.  The register chain is fixed-depth and branch-free
+ * (a dense mask would otherwise ripple ~log2(popcount) levels of
+ * the bank per add, each a load/store round trip); only the rare
+ * eights overflow -- every 8th add per bit -- reaches the bank
+ * mid-stream.
+ */
+struct Csa3
+{
+    std::uint64_t ones[3]{};
+    std::uint64_t twos[3]{};
+    std::uint64_t fours[3]{};
+};
+
+inline void
+csaAdd(Csa3 &a, std::uint64_t (*bank)[3], unsigned level,
+       std::uint64_t m0, std::uint64_t m1, std::uint64_t m2)
+{
+    const std::uint64_t c0 = a.ones[0] & m0;
+    const std::uint64_t c1 = a.ones[1] & m1;
+    const std::uint64_t c2 = a.ones[2] & m2;
+    a.ones[0] ^= m0;
+    a.ones[1] ^= m1;
+    a.ones[2] ^= m2;
+    const std::uint64_t d0 = a.twos[0] & c0;
+    const std::uint64_t d1 = a.twos[1] & c1;
+    const std::uint64_t d2 = a.twos[2] & c2;
+    a.twos[0] ^= c0;
+    a.twos[1] ^= c1;
+    a.twos[2] ^= c2;
+    const std::uint64_t e0 = a.fours[0] & d0;
+    const std::uint64_t e1 = a.fours[1] & d1;
+    const std::uint64_t e2 = a.fours[2] & d2;
+    a.fours[0] ^= d0;
+    a.fours[1] ^= d1;
+    a.fours[2] ^= d2;
+    if (e0 | e1 | e2)
+        bankAdd(bank, level + 3, e0, e1, e2);
+}
+
+inline void
+csaFlush(const Csa3 &a, std::uint64_t (*bank)[3], unsigned level)
+{
+    if (a.ones[0] | a.ones[1] | a.ones[2])
+        bankAdd(bank, level, a.ones[0], a.ones[1], a.ones[2]);
+    if (a.twos[0] | a.twos[1] | a.twos[2])
+        bankAdd(bank, level + 1, a.twos[0], a.twos[1], a.twos[2]);
+    if (a.fours[0] | a.fours[1] | a.fours[2])
+        bankAdd(bank, level + 2, a.fours[0], a.fours[1], a.fours[2]);
+}
+
+#if defined(PENELOPE_ENABLE_AVX2)
+
+/** Same gate as the netlist kernel's: one compile definition plus
+ *  one runtime probe. */
+bool
+drainAvx2Supported()
+{
+    static const bool supported = __builtin_cpu_supports("avx2");
+    return supported;
+}
+
+// A lambda would not inherit the enclosing function's target
+// attribute, so the aligned load lives in its own AVX2 helper
+// (same pattern as netlist_simd.cc).
+__attribute__((target("avx2"))) inline __m256i
+load256(const std::uint64_t *p)
+{
+    return _mm256_load_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+/** Carry-save chain held in ymm registers.  One step is the
+ *  identical XOR/AND recurrence as the scalar Csa3 path, so the
+ *  banked counters come out the same. */
+struct CsaYmm
+{
+    __m256i ones, twos, fours;
+};
+
+__attribute__((target("avx2"))) inline void
+csaStep(CsaYmm &a, __m256i x, std::uint64_t (*bank)[3],
+        unsigned level)
+{
+    const __m256i c = _mm256_and_si256(a.ones, x);
+    a.ones = _mm256_xor_si256(a.ones, x);
+    const __m256i d = _mm256_and_si256(a.twos, c);
+    a.twos = _mm256_xor_si256(a.twos, c);
+    const __m256i e = _mm256_and_si256(a.fours, d);
+    a.fours = _mm256_xor_si256(a.fours, d);
+    if (!_mm256_testz_si256(e, e)) {
+        alignas(32) std::uint64_t t[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(t), e);
+        bankAdd(bank, level + 3, t[0], t[1], t[2]);
+    }
+}
+
+__attribute__((target("avx2"))) inline void
+csaFlushYmm(const CsaYmm &a, std::uint64_t (*bank)[3],
+            unsigned level)
+{
+    alignas(32) std::uint64_t t[4];
+    if (!_mm256_testz_si256(a.ones, a.ones)) {
+        _mm256_store_si256(reinterpret_cast<__m256i *>(t), a.ones);
+        bankAdd(bank, level, t[0], t[1], t[2]);
+    }
+    if (!_mm256_testz_si256(a.twos, a.twos)) {
+        _mm256_store_si256(reinterpret_cast<__m256i *>(t), a.twos);
+        bankAdd(bank, level + 1, t[0], t[1], t[2]);
+    }
+    if (!_mm256_testz_si256(a.fours, a.fours)) {
+        _mm256_store_si256(reinterpret_cast<__m256i *>(t), a.fours);
+        bankAdd(bank, level + 2, t[0], t[1], t[2]);
+    }
+}
+
+/**
+ * Vector form of the plane-major CSA loop: each record is one
+ * aligned 4-word row (the pad word is always zero, so it never
+ * carries).  Two independent chains take alternate lanes -- the
+ * six-op recurrence is a serial dependency, so interleaving hides
+ * its latency on dense planes -- and both flush into the bank at
+ * plane end (equal-weight adds commute).
+ */
+__attribute__((target("avx2"))) void
+drainPlanesAvx2(const std::uint64_t *planes, unsigned num_planes,
+                const std::uint64_t (*rows)[4],
+                std::uint64_t (*bank)[3])
+{
+    for (unsigned l = 0; l < num_planes; ++l) {
+        const std::uint64_t lanes = planes[l];
+        if (!lanes)
+            continue;
+        CsaYmm a{_mm256_setzero_si256(), _mm256_setzero_si256(),
+                 _mm256_setzero_si256()};
+        CsaYmm b = a;
+        std::uint64_t m = lanes;
+        while (m) {
+            const unsigned v0 =
+                static_cast<unsigned>(std::countr_zero(m));
+            m &= m - 1;
+            if (m) {
+                const unsigned v1 =
+                    static_cast<unsigned>(std::countr_zero(m));
+                m &= m - 1;
+                const __m256i x0 = load256(rows[v0]);
+                const __m256i x1 = load256(rows[v1]);
+                csaStep(a, x0, bank, l);
+                csaStep(b, x1, bank, l);
+            } else {
+                csaStep(a, load256(rows[v0]), bank, l);
+            }
+        }
+        csaFlushYmm(a, bank, l);
+        csaFlushYmm(b, bank, l);
+    }
+}
+
+#endif // PENELOPE_ENABLE_AVX2
+
+} // namespace
+
+void
+Scheduler::drainBatch() const
+{
+    const unsigned n = batchCount_;
+    if (n == 0)
+        return;
+    batchCount_ = 0;
+    const std::uint64_t busy = batchBusy_;
+    const std::uint64_t s1 = batchS1_;
+    const std::uint64_t s2 = batchS2_;
+    const std::uint64_t imm = batchImm_;
+    batchBusy_ = batchS1_ = batchS2_ = batchImm_ = 0;
+
+    // Transpose the two duration columns into bit-planes: plane l
+    // of a column is the lane set whose records' duration has bit
+    // l, i.e. the records whose mask carries weight 2^l into the
+    // level-l counters.  Padding lanes get dt = 0 and fall in no
+    // plane; so do idle records in the busy-span column.
+    std::uint64_t planes[kBatchDepth];
+    std::uint64_t busy_planes[kBatchDepth];
+    std::uint64_t dt_or = 0;
+    std::uint64_t busy_dt_or = 0;
+    for (unsigned v = 0; v < n; ++v) {
+        planes[v] = batchDt_[v];
+        busy_planes[v] = batchBusyDt_[v];
+        dt_or |= batchDt_[v];
+        busy_dt_or |= batchBusyDt_[v];
+        dtGrand_ += batchDt_[v];
+    }
+    for (unsigned v = n; v < kBatchDepth; ++v) {
+        planes[v] = 0;
+        busy_planes[v] = 0;
+    }
+    transpose64x64(planes);
+    transpose64x64(busy_planes);
+    const unsigned num_planes = 64 -
+        static_cast<unsigned>(std::countl_zero(dt_or | 1));
+    const unsigned num_busy_planes = 64 -
+        static_cast<unsigned>(std::countl_zero(busy_dt_or | 1));
+
+    // Busy records: per-field duration sums, and the zeroed in-use
+    // complement each plane pass reads.  The in-use words are
+    // rebuilt from the three capture-field lanes -- a busy record
+    // always has the whole always-used group live (asserted at
+    // append).
+    alignas(32) std::uint64_t z[kBatchDepth][4];
+    for (std::uint64_t m = busy; m; m &= m - 1) {
+        const unsigned v =
+            static_cast<unsigned>(std::countr_zero(m));
+        const std::uint64_t dt = batchBusyDt_[v];
+        busyDtGrand_ += dt;
+        std::uint64_t um0 = kAlwaysMaskW0;
+        std::uint64_t um1 = 0;
+        std::uint64_t um2 = kAlwaysMaskW2;
+        if ((s1 >> v) & 1) {
+            um0 |= kSrc1MaskW0;
+            um1 |= kSrc1MaskW1;
+            s1DtGrand_ += dt;
+        }
+        if ((s2 >> v) & 1) {
+            um1 |= kSrc2MaskW1;
+            s2DtGrand_ += dt;
+        }
+        if ((imm >> v) & 1) {
+            um1 |= kImmMaskW1;
+            um2 |= kImmMaskW2;
+            immDtGrand_ += dt;
+        }
+        z[v][0] = ~batchImage_[v][0] & um0;
+        z[v][1] = ~batchImage_[v][1] & um1;
+        z[v][2] = ~batchImage_[v][2] & um2;
+        z[v][3] = 0;
+    }
+
+    // Plane-major accumulation: every record in plane l adds its
+    // image into the level-l counters through a register CSA; the
+    // busy-span planes do the same with the zeroed in-use
+    // complements (their lanes are busy by construction -- an idle
+    // record's busy span is 0).
+#if defined(PENELOPE_ENABLE_AVX2)
+    if (drainAvx2Supported()) {
+        drainPlanesAvx2(planes, num_planes, batchImage_, oneBank_);
+        drainPlanesAvx2(busy_planes, num_busy_planes, z,
+                        busyZeroBank_);
+        return;
+    }
+#endif
+    for (unsigned l = 0; l < num_planes; ++l) {
+        const std::uint64_t lanes = planes[l];
+        if (!lanes)
+            continue;
+        Csa3 one_acc;
+        for (std::uint64_t m = lanes; m; m &= m - 1) {
+            const unsigned v =
+                static_cast<unsigned>(std::countr_zero(m));
+            csaAdd(one_acc, oneBank_, l, batchImage_[v][0],
+                   batchImage_[v][1], batchImage_[v][2]);
+        }
+        csaFlush(one_acc, oneBank_, l);
+    }
+    for (unsigned l = 0; l < num_busy_planes; ++l) {
+        const std::uint64_t lanes = busy_planes[l];
+        if (!lanes)
+            continue;
+        Csa3 zero_acc;
+        for (std::uint64_t m = lanes; m; m &= m - 1) {
+            const unsigned v =
+                static_cast<unsigned>(std::countr_zero(m));
+            csaAdd(zero_acc, busyZeroBank_, l, z[v][0], z[v][1],
+                   z[v][2]);
+        }
+        csaFlush(zero_acc, busyZeroBank_, l);
     }
 }
 
 void
-Scheduler::flushEntry(Entry &e, Cycle now)
+Scheduler::sweepPending() const
 {
-    if (now <= e.since)
-        return;
-    const std::uint64_t dt = now - e.since;
-    std::uint64_t zero[kLayoutWords];
-    for (unsigned w = 0; w < kLayoutWords; ++w)
-        zero[w] = ~e.image[w] & layoutMask_[w];
-    zeroTotal_.add(zero, dt);
-    if (e.inUse[0] | e.inUse[1] | e.inUse[2]) {
-        std::uint64_t busy_zero[kLayoutWords];
+    // Emit the busy-only record the eager path would have emitted
+    // at release time for every parked release, and run the release
+    // epilogue (valid drop, in-use clear).  The entry's timestamp
+    // is untouched: its idle span keeps accruing and flushes as a
+    // plain idle record later -- the same two records, just split
+    // where the immediate path split them.
+    for (std::uint64_t p = pendingMask_; p; p &= p - 1) {
+        Entry &e = entries_[static_cast<unsigned>(
+            std::countr_zero(p))];
+        assert(e.pendingBusyDt != 0 && e.inUseFields != 0);
+        const unsigned v = batchCount_;
         for (unsigned w = 0; w < kLayoutWords; ++w)
-            busy_zero[w] = zero[w] & e.inUse[w];
-        busyZero_.add(busy_zero, dt);
-        busyTime_.add(e.inUse.data(), dt);
+            batchImage_[v][w] = e.image[w];
+        batchDt_[v] = e.pendingBusyDt;
+        batchBusyDt_[v] = e.pendingBusyDt;
+        const std::uint64_t lane = std::uint64_t(1) << v;
+        const std::uint32_t uf = e.inUseFields;
+        batchBusy_ |= lane;
+        if (uf & (std::uint32_t(1) << kSrc1DataField))
+            batchS1_ |= lane;
+        if (uf & (std::uint32_t(1) << kSrc2DataField))
+            batchS2_ |= lane;
+        if (uf & (std::uint32_t(1) << kImmField))
+            batchImm_ |= lane;
+        e.pendingBusyDt = 0;
+        e.inUse = LayoutWords{};
+        e.inUseFields = 0;
+        e.image[0] &= ~std::uint64_t(1); // valid drop (bit 0)
+        if (++batchCount_ == kBatchDepth)
+            drainBatch();
     }
-    entryTime_ += dt;
-    for (std::uint32_t m = e.holdsInverted; m; m &= m - 1) {
-        fieldInvertedTime_[static_cast<unsigned>(
-            std::countr_zero(m))] += dt;
+    pendingMask_ = 0;
+}
+
+void
+Scheduler::foldBatch() const
+{
+    sweepPending();
+    drainBatch();
+    if (dtGrand_ == 0)
+        return;
+
+    const FieldLayout &layout = fieldLayout();
+    const unsigned total_bits = layout.totalBits();
+
+    // zeroTotal_: charge every bit the grand duration total, minus
+    // its banked one-time -- the complement-split form of the scalar
+    // zero-mask add.  Transposing a bank word's 64 levels yields
+    // each bit's exact total directly: transposed word b has bit l
+    // set iff level l held bit b, i.e. it *is* sum_l 2^l.
+    zeroTotal_.addBase(dtGrand_);
+    dtGrand_ = 0;
+    if (validIdleGrand_) {
+        // Merged records keep valid = 1 over their idle span;
+        // credit the one bit their release would have dropped.
+        zeroTotal_.addBit(kValidOff, validIdleGrand_);
+        validIdleGrand_ = 0;
     }
-    e.since = now;
+    for (unsigned w = 0; w < kLayoutWords; ++w) {
+        std::uint64_t col[kBatchDepth];
+        for (unsigned l = 0; l < kBatchDepth; ++l) {
+            col[l] = oneBank_[l][w];
+            oneBank_[l][w] = 0;
+        }
+        transpose64x64(col);
+        const unsigned hi = std::min(64u, total_bits - w * 64);
+        for (unsigned b = 0; b < hi; ++b) {
+            if (col[b])
+                zeroTotal_.subBit(w * 64 + b, col[b]);
+        }
+
+        for (unsigned l = 0; l < kBatchDepth; ++l) {
+            col[l] = busyZeroBank_[l][w];
+            busyZeroBank_[l][w] = 0;
+        }
+        transpose64x64(col);
+        for (unsigned b = 0; b < hi; ++b) {
+            if (col[b])
+                busyZero_.addBit(w * 64 + b, col[b]);
+        }
+    }
+
+    // In-use time: fields are used whole, so the always-used group
+    // shares one duration sum and each capture field has its own.
+    for (std::uint32_t m = kAlwaysUsedFields; m; m &= m - 1) {
+        fieldBusyTime_[static_cast<unsigned>(std::countr_zero(m))] +=
+            busyDtGrand_;
+    }
+    fieldBusyTime_[kSrc1DataField] += s1DtGrand_;
+    fieldBusyTime_[kSrc2DataField] += s2DtGrand_;
+    fieldBusyTime_[kImmField] += immDtGrand_;
+    busyDtGrand_ = s1DtGrand_ = s2DtGrand_ = immDtGrand_ = 0;
+}
+
+void
+Scheduler::setBatchedAccounting(bool enabled)
+{
+    if (batched_ && !enabled)
+        foldBatch();
+    batched_ = enabled;
 }
 
 void
@@ -178,6 +726,7 @@ Scheduler::flushAll(Cycle now)
 {
     for (Entry &e : entries_)
         flushEntry(e, now);
+    foldBatch();
     occupancyFlush(now);
 }
 
@@ -265,10 +814,11 @@ int
 Scheduler::allocate(const Uop &uop, const RenameTags &tags,
                     Cycle now)
 {
-    if (freeList_.empty())
+    if (busyCount_ == config_.numEntries)
         return -1;
-    const unsigned idx = freeList_.front();
-    freeList_.pop_front();
+    const unsigned idx = freeList_[freeHead_];
+    if (++freeHead_ == config_.numEntries)
+        freeHead_ = 0;
     occupancyFlush(now);
     Entry &e = entries_[idx];
     assert(!e.busy);
@@ -281,21 +831,71 @@ Scheduler::allocate(const Uop &uop, const RenameTags &tags,
     }
     ++allocCount_;
 
-    const FieldLayout &layout = fieldLayout();
     flushEntry(e, now);
-    for (unsigned f = 0; f < layout.count(); ++f) {
-        const FieldSpec &spec = layout.spec(f);
-        if (fieldUsedByUop(spec.id, uop, tags)) {
-            depositField(e, f,
-                         fieldValue(spec.id, uop, tags).lo());
-            setFieldInUse(e, f, true);
-            e.holdsInverted &= ~(std::uint32_t(1) << f);
-        } else {
-            // Unused fields of a busy slot may hold repair values
-            // (they are written through the allocate port anyway).
-            if (protectionEnabled_)
-                applyRepair(e, f);
-            setFieldInUse(e, f, false);
+
+    // Fused field deposit: compose the uop's whole 144-bit image
+    // and in-use mask with shifts against the constant layout, then
+    // merge in one read-modify-write per word.  Field for field
+    // this deposits exactly what the spec-driven loop
+    // (fieldUsedByUop / fieldValue / depositField / setFieldInUse)
+    // would -- values are masked to their field widths the same way
+    // depositField does -- it just never touches the spec table.
+    const bool use_s1 = uop.usesSrc1() && !tags.ready1;
+    const bool use_s2 = uop.usesSrc2() && !tags.ready2;
+    const bool use_imm = uop.hasImm;
+    const std::uint32_t used = kAlwaysUsedFields |
+        (use_s1 ? std::uint32_t(1) << kSrc1DataField : 0u) |
+        (use_s2 ? std::uint32_t(1) << kSrc2DataField : 0u) |
+        (use_imm ? std::uint32_t(1) << kImmField : 0u);
+
+    const std::uint64_t s1 = uop.srcVal1 & 0xffffffffull;
+    const std::uint64_t s2 = uop.srcVal2 & 0xffffffffull;
+    const std::uint64_t imm = uop.imm;
+
+    const std::uint64_t b0 = (std::uint64_t(1) << kValidOff) |
+        (std::uint64_t(uop.latency & 0x1f) << kLatencyOff) |
+        (((std::uint64_t(1) << uop.port) & 0x1f) << kPortOff) |
+        (std::uint64_t(uop.taken) << kTakenOff) |
+        (std::uint64_t(uop.mobId & 0x3f) << kMobIdOff) |
+        (std::uint64_t(uop.tos & 0x7) << kTosOff) |
+        (std::uint64_t(uop.flags & 0x3f) << kFlagsOff) |
+        (std::uint64_t(uop.shift1) << kShift1Off) |
+        (std::uint64_t(uop.shift2) << kShift2Off) |
+        (std::uint64_t(tags.dstTag & 0x7f) << kDstTagOff) |
+        (std::uint64_t(tags.src1Tag & 0x7f) << kSrc1TagOff) |
+        (std::uint64_t(tags.src2Tag & 0x7f) << kSrc2TagOff) |
+        (std::uint64_t(tags.ready1) << kReady1Off) |
+        (std::uint64_t(tags.ready2) << kReady2Off) |
+        (s1 << (kSrc1DataOff % 64));
+    const std::uint64_t b1 = (s1 >> (64 - kSrc1DataOff % 64)) |
+        (s2 << (kSrc2DataOff % 64)) | (imm << (kImmOff % 64));
+    const std::uint64_t b2 = (imm >> (64 - kImmOff % 64)) |
+        (std::uint64_t(uop.opcode & 0xfff) << (kOpcodeOff % 64));
+
+    const std::uint64_t um0 =
+        kAlwaysMaskW0 | (use_s1 ? kSrc1MaskW0 : 0u);
+    const std::uint64_t um1 = (use_s1 ? kSrc1MaskW1 : 0u) |
+        (use_s2 ? kSrc2MaskW1 : 0u) | (use_imm ? kImmMaskW1 : 0u);
+    const std::uint64_t um2 =
+        kAlwaysMaskW2 | (use_imm ? kImmMaskW2 : 0u);
+
+    e.image[0] = (e.image[0] & ~um0) | (b0 & um0);
+    e.image[1] = (e.image[1] & ~um1) | (b1 & um1);
+    e.image[2] = (e.image[2] & ~um2) | (b2 & um2);
+    e.inUse[0] = um0;
+    e.inUse[1] = um1;
+    e.inUse[2] = um2;
+    e.inUseFields = used;
+    e.holdsInverted &= ~used;
+
+    // Unused fields of a busy slot may hold repair values (they are
+    // written through the allocate port anyway).  Ascending field
+    // order, like the spec-driven loop, so the per-bit duty
+    // generators advance in the same sequence.
+    if (protectionEnabled_) {
+        for (std::uint32_t m = ~used & 0x3ffffu; m; m &= m - 1) {
+            applyRepair(e, static_cast<unsigned>(
+                               std::countr_zero(m)));
         }
     }
     return static_cast<int>(idx);
@@ -307,14 +907,37 @@ Scheduler::release(unsigned entry, Cycle now, bool port_available)
     assert(entry < entries_.size());
     Entry &e = entries_[entry];
     assert(e.busy);
+    assert(e.pendingBusyDt == 0);
     occupancyFlush(now);
     e.busy = false;
     --busyCount_;
-    freeList_.push_back(entry);
+    freeList_[freeTail_] = entry;
+    if (++freeTail_ == config_.numEntries)
+        freeTail_ = 0;
+
+    // Unprotected release in batched mode: the only image change is
+    // the valid drop, so park the busy span and let the next flush
+    // of this entry emit one merged busy+idle record.  The
+    // decision-feeding state (entryTime_, ISV meters, timestamp)
+    // is still charged eagerly, exactly like a flush.
+    if (batched_ && deferRelease_ && !protectionEnabled_ &&
+        now > e.since) {
+        const std::uint64_t dt = now - e.since;
+        e.pendingBusyDt = dt;
+        pendingMask_ |= std::uint64_t(1) << entry;
+        entryTime_ += dt;
+        for (std::uint32_t m = e.holdsInverted; m; m &= m - 1) {
+            fieldInvertedTime_[static_cast<unsigned>(
+                std::countr_zero(m))] += dt;
+        }
+        e.since = now;
+        return;
+    }
 
     const FieldLayout &layout = fieldLayout();
     flushEntry(e, now);
     e.inUse = LayoutWords{};
+    e.inUseFields = 0;
 
     // The valid bit drops to 0 on release; its contents are always
     // live, so it cannot be repaired.
@@ -354,8 +977,9 @@ Scheduler::fieldOccupancy(FieldId f, Cycle now) const
 {
     if (now == 0)
         return 0.0;
-    const FieldSpec &spec = fieldLayout().spec(f);
-    return static_cast<double>(busyTime_.time(spec.offset)) /
+    foldBatch();
+    return static_cast<double>(
+               fieldBusyTime_[static_cast<unsigned>(f)]) /
         (static_cast<double>(config_.numEntries) *
          static_cast<double>(now));
 }
@@ -400,7 +1024,7 @@ Scheduler::snapshotStress(Cycle now)
     s.fieldUseTime.reserve(layout.count());
     for (unsigned f = 0; f < layout.count(); ++f) {
         const FieldSpec &spec = layout.spec(f);
-        const std::uint64_t use_time = busyTime_.time(spec.offset);
+        const std::uint64_t use_time = fieldBusyTime_[f];
         s.totalBias.push_back(BitBiasTracker::fromTimes(
             spec.width, &zero_total[spec.offset], entryTime_));
         s.busyBias.push_back(BitBiasTracker::fromTimes(

@@ -25,7 +25,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/duty.hh"
@@ -139,6 +138,20 @@ class Scheduler
     /** Flush accounting to @p now and snapshot it for merging. */
     SchedulerStress snapshotStress(Cycle now);
 
+    /**
+     * Toggle batched duty accounting (default on).  When on, a slot
+     * flush appends its {image, in-use, dt} record to a 64-deep
+     * batch instead of charging the accumulators immediately; a
+     * full batch drains into bit-sliced counter banks, and any
+     * reader of the accumulators folds the banks into them with one
+     * 64x64 transpose per layout word.  The deferred adds are the
+     * same modular-integer sums in a different order, so every
+     * statistic is bit-identical to the immediate path -- which the
+     * off position exists to check (and to benchmark against).
+     */
+    void setBatchedAccounting(bool enabled);
+    bool batchedAccounting() const { return batched_; }
+
     const SchedulerConfig &config() const { return config_; }
 
     /** Build the repair value for one field at this instant.
@@ -166,12 +179,26 @@ class Scheduler
         /** Per-bit in-use mask (whole fields at a time). */
         LayoutWords inUse{};
 
+        /** Per-field mirror of inUse (bit f = field f in use): the
+         *  batched flush reads this one word instead of the three
+         *  expanded per-bit mask words. */
+        std::uint32_t inUseFields = 0;
+
         /** Per-field "last repair wrote RINV" bits. */
         std::uint32_t holdsInverted = 0;
 
         /** Residence of the current image (shared by all fields:
          *  every image change flushes the whole entry). */
         Cycle since = 0;
+
+        /** Deferred-release busy duration awaiting a merged flush.
+         *  An unprotected release changes the image by one bit (the
+         *  valid drop), so its busy record and the idle record that
+         *  follows can share one batch slot: the release parks its
+         *  duration here and the next flush emits both spans as one
+         *  record with a separate busy duration (the valid bit's
+         *  idle zero-time is corrected at fold). */
+        Cycle pendingBusyDt = 0;
     };
 
     /** Precomputed placement of one field in the packed layout. */
@@ -216,15 +243,32 @@ class Scheduler
     std::uint64_t extractField(const Entry &e, unsigned field) const;
     void depositField(Entry &e, unsigned field, std::uint64_t value);
 
-    /** Set/clear a field's bits in the entry's in-use mask. */
-    void setFieldInUse(Entry &e, unsigned field, bool in_use);
-
     /** Charge the entry's image residence up to @p now into the
      *  sliced accumulators. */
     void flushEntry(Entry &e, Cycle now);
 
     void flushAll(Cycle now);
     void occupancyFlush(Cycle now);
+
+    /** Fold every pending batch record into the bit-sliced counter
+     *  banks (carry-save ripple adds, record-major).  Const because
+     *  readers (fieldOccupancy) must be able to drain; the batch
+     *  state and the banks it feeds are mutable. */
+    void drainBatch() const;
+
+    /** drainBatch(), then charge the counter banks into the
+     *  accumulators: one 64x64 transpose per layout word turns each
+     *  bank straight into per-bit totals (word b of the transposed
+     *  bank is bit b's exact summed time).  Every reader of the
+     *  accumulators goes through this. */
+    void foldBatch() const;
+
+    /** Flush the parked busy span of every deferred release (the
+     *  busy-only record the eager path would have emitted at
+     *  release time) so readers see exactly the immediate path's
+     *  accounting.  Needs no "now": the idle span keeps accruing
+     *  from the entry's timestamp. */
+    void sweepPending() const;
 
     /** Recompute repairPlans_/fieldHasIsv_ from decisions_. */
     void rebuildRepairPlans();
@@ -241,7 +285,11 @@ class Scheduler
     void sampleRinv(const Uop &uop, const RenameTags &tags);
 
     SchedulerConfig config_;
-    std::vector<Entry> entries_;
+
+    /** Mutable: const readers sweep deferred releases (which
+     *  converts a pending entry to its post-release image) before
+     *  folding the accumulators. */
+    mutable std::vector<Entry> entries_;
 
     /** Per-field packed-layout placement. */
     std::vector<FieldSlot> slots_;
@@ -253,8 +301,12 @@ class Scheduler
     LayoutWords layoutMask_{};
 
     /** FIFO free list: slots rotate evenly, so every entry sees
-     *  repair writes (and tag/slot usage is self-balanced). */
-    std::deque<unsigned> freeList_;
+     *  repair writes (and tag/slot usage is self-balanced).  A
+     *  fixed-capacity ring (it never holds more than numEntries);
+     *  occupancy is busyCount_, so head == tail is unambiguous. */
+    std::vector<unsigned> freeList_;
+    unsigned freeHead_ = 0;
+    unsigned freeTail_ = 0;
     unsigned busyCount_ = 0;
 
     bool protectionEnabled_ = false;
@@ -273,10 +325,77 @@ class Scheduler
     std::vector<bool> fieldHasIsv_;
     std::vector<FieldRepairPlan> repairPlans_; ///< per field
 
-    /** Sliced duty accounting over the 144-bit layout. */
-    MaskedTimeAccumulator zeroTotal_; ///< zero-time, all residence
-    MaskedTimeAccumulator busyZero_;  ///< zero-time while in use
-    MaskedTimeAccumulator busyTime_;  ///< in-use time
+    /** Sliced duty accounting over the 144-bit layout.  Mutable:
+     *  const readers drain the pending batch into them. */
+    mutable MaskedTimeAccumulator zeroTotal_; ///< zero-time, all
+    mutable MaskedTimeAccumulator busyZero_;  ///< zero-time, in use
+
+    /** Per-field in-use time.  Fields are used whole, so the
+     *  per-bit in-use times the snapshots expose are one shared
+     *  counter per field, not a 144-bit accumulator. */
+    mutable std::array<std::uint64_t, numFields> fieldBusyTime_{};
+
+    /**
+     * Pending flush records, stored struct-of-arrays.  Record v of
+     * the batch occupies lane/bit v of the in-use group masks.
+     *
+     * In-use lanes need no per-field storage: the three conditional
+     * capture fields get their own lane masks and every other field
+     * shares the busy-record mask (a free entry's flush has no field
+     * in use), all maintained bit-at-append.
+     */
+    static constexpr unsigned kBatchDepth = 64;
+    /** Lane-major, padded to four words per record so a lane's
+     *  image is one aligned 32-byte load in the vector drain; the
+     *  pad word is zero-initialised and never written. */
+    alignas(32) mutable std::uint64_t batchImage_[kBatchDepth][4]{};
+    mutable std::uint64_t batchDt_[kBatchDepth];
+    /** Busy-span duration per record: equal to batchDt_ for a busy
+     *  flush, 0 for an idle flush, and the parked release duration
+     *  for a merged busy+idle record. */
+    mutable std::uint64_t batchBusyDt_[kBatchDepth];
+    mutable std::uint64_t batchBusy_ = 0; ///< lanes w/ fields in use
+    mutable std::uint64_t batchS1_ = 0;   ///< lanes w/ Src1Data live
+    mutable std::uint64_t batchS2_ = 0;   ///< lanes w/ Src2Data live
+    mutable std::uint64_t batchImm_ = 0;  ///< lanes w/ Imm live
+    mutable unsigned batchCount_ = 0;
+    bool batched_ = true;
+
+    /** Entries with a deferred release parked (bit = entry index).
+     *  Release merging is only worth a bounded sweep list, so it is
+     *  gated -- like the replay driver's calendar wheel -- on every
+     *  entry fitting one mask word. */
+    mutable std::uint64_t pendingMask_ = 0;
+    bool deferRelease_ = false; ///< numEntries <= 64
+
+    /**
+     * Bit-sliced binary counters holding drained-but-unfolded
+     * per-bit time sums: level l, word w is a mask whose bit b
+     * carries weight 2^l in layout bit (w*64 + b)'s pending total.
+     * The drain ripple-adds each record's image (resp. its zeroed
+     * in-use complement) at every set bit of the record's duration
+     * -- a carry-save add is a couple of word ops per level touched,
+     * amortised O(1) levels per add -- and carries past level 63
+     * drop, which is exactly the accumulators' mod-2^64 wrap.
+     * foldBatch() transposes each word's 64 levels to recover every
+     * bit's exact total in one step.
+     *
+     * Field in-use times need no slicing: the always-used fields
+     * share one duration sum and each capture field keeps its own
+     * (fields are used whole), folded into fieldBusyTime_.
+     */
+    mutable std::uint64_t oneBank_[kBatchDepth][kLayoutWords]{};
+    mutable std::uint64_t busyZeroBank_[kBatchDepth][kLayoutWords]{};
+    mutable std::uint64_t dtGrand_ = 0;     ///< sum dt, all records
+    mutable std::uint64_t busyDtGrand_ = 0; ///< sum busy-span dt
+    mutable std::uint64_t s1DtGrand_ = 0;   ///< sum dt, Src1Data live
+    mutable std::uint64_t s2DtGrand_ = 0;   ///< sum dt, Src2Data live
+    mutable std::uint64_t immDtGrand_ = 0;  ///< sum dt, Imm live
+
+    /** Valid-bit zero-time carried by merged records' idle spans
+     *  (their image keeps valid = 1 from the busy span; the one
+     *  bit the release would have dropped is credited here). */
+    mutable std::uint64_t validIdleGrand_ = 0;
 
     /** Total flushed residence time (identical for every bit:
      *  each entry flush covers the whole layout). */

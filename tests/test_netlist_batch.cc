@@ -404,6 +404,129 @@ TEST(AgingBatch, ObserveBatchWithDt)
     EXPECT_EQ(batched.zeroProb(0), 0.75);
 }
 
+// ------------------------------------------------ wide (W words)
+
+TEST(NetlistWide, RandomNetlistsMatchSingleWord)
+{
+    // Word w of an evaluateBatchWide pass must be bit-for-bit what
+    // evaluateBatch over that word's input words produces, for
+    // every supported W.
+    Rng rng(0x31de);
+    for (int trial = 0; trial < 10; ++trial) {
+        const unsigned num_inputs = 1 + rng.nextInt(12);
+        const unsigned num_gates = 1 + rng.nextInt(60);
+        Netlist n = randomNetlist(rng, num_inputs, num_gates);
+
+        std::vector<std::uint64_t> in_flat(n.numInputs() * 4);
+        for (auto &w : in_flat)
+            w = rng();
+
+        std::vector<std::uint64_t> ref;
+        std::vector<std::uint64_t> single(n.numInputs());
+        for (unsigned net_w : {1u, 2u, 4u}) {
+            std::vector<std::uint64_t> in(n.numInputs() * net_w);
+            for (std::size_t i = 0; i < n.numInputs(); ++i)
+                for (unsigned w = 0; w < net_w; ++w)
+                    in[i * net_w + w] = in_flat[i * 4 + w];
+            std::vector<std::uint64_t> wide;
+            n.evaluateBatchWide(in.data(), wide, net_w);
+            ASSERT_EQ(wide.size(), n.numSignals() * net_w);
+            for (unsigned w = 0; w < net_w; ++w) {
+                for (std::size_t i = 0; i < n.numInputs(); ++i)
+                    single[i] = in_flat[i * 4 + w];
+                n.evaluateBatch(single.data(), ref);
+                for (std::size_t s = 0; s < n.numSignals(); ++s) {
+                    ASSERT_EQ(wide[s * net_w + w], ref[s])
+                        << "W " << net_w << " word " << w
+                        << " net " << s;
+                }
+            }
+        }
+    }
+}
+
+TEST(AdderWide, MatchesEvaluateBatchPerWord)
+{
+    LadnerFischerAdder adder(32);
+    Rng rng(0xadd3);
+    std::uint64_t a[256];
+    std::uint64_t b[256];
+    std::uint64_t cin_masks[4];
+    for (unsigned i = 0; i < 256; ++i) {
+        a[i] = rng() & 0xffffffff;
+        b[i] = rng() & 0xffffffff;
+    }
+    for (unsigned w = 0; w < 4; ++w)
+        cin_masks[w] = rng();
+
+    std::vector<std::uint64_t> ref;
+    for (unsigned net_w : {1u, 2u, 4u}) {
+        std::vector<std::uint64_t> wide;
+        adder.evaluateBatchWide(a, b, cin_masks, net_w, wide);
+        const std::size_t nets = adder.netlist().numSignals();
+        ASSERT_EQ(wide.size(), nets * net_w);
+        for (unsigned w = 0; w < net_w; ++w) {
+            adder.evaluateBatch(a + w * 64, b + w * 64,
+                                cin_masks[w], ref);
+            for (std::size_t s = 0; s < nets; ++s) {
+                ASSERT_EQ(wide[s * net_w + w], ref[s])
+                    << "W " << net_w << " word " << w << " net "
+                    << s;
+            }
+        }
+    }
+}
+
+TEST(AgingWide, ObserveBatchWideIdentity)
+{
+    // observeBatchWide over W interleaved words == W observeBatch
+    // calls, including partial (masked) words.
+    Rng rng(0x0b5e);
+    Netlist n = randomNetlist(rng, 8, 40);
+    std::uint64_t in[8 * 4];
+    for (auto &w : in)
+        w = rng();
+    const std::uint64_t lane_masks[4] = {~std::uint64_t(0), 0x3ff,
+                                         0, 0xffff0000ffff0000ull};
+
+    for (unsigned net_w : {2u, 4u}) {
+        std::vector<std::uint64_t> interleaved(8 * net_w);
+        for (std::size_t i = 0; i < 8; ++i)
+            for (unsigned w = 0; w < net_w; ++w)
+                interleaved[i * net_w + w] = in[i * 4 + w];
+        std::vector<std::uint64_t> wide;
+        n.evaluateBatchWide(interleaved.data(), wide, net_w);
+        PmosAgingTracker wide_tracker(n);
+        wide_tracker.observeBatchWide(wide.data(), net_w,
+                                      lane_masks, 3);
+
+        PmosAgingTracker ref_tracker(n);
+        std::vector<std::uint64_t> single(8);
+        std::vector<std::uint64_t> words;
+        for (unsigned w = 0; w < net_w; ++w) {
+            for (std::size_t i = 0; i < 8; ++i)
+                single[i] = in[i * 4 + w];
+            n.evaluateBatch(single.data(), words);
+            ref_tracker.observeBatch(words.data(), lane_masks[w],
+                                     3);
+        }
+        for (std::size_t d = 0; d < ref_tracker.numDevices(); ++d) {
+            ASSERT_EQ(wide_tracker.zeroProb(d),
+                      ref_tracker.zeroProb(d))
+                << "W " << net_w << " device " << d;
+        }
+    }
+}
+
+TEST(NetlistWide, PreferredBatchWordsIsSupported)
+{
+    const unsigned net_w = Netlist::preferredBatchWords();
+    EXPECT_TRUE(net_w == 2 || net_w == 4);
+    if (!Netlist::avx2Supported()) {
+        EXPECT_EQ(net_w, 2u);
+    }
+}
+
 TEST(AgingBatch, PaddedLanesIgnored)
 {
     // Garbage in lanes outside the mask must not leak into the
