@@ -1,0 +1,49 @@
+#include "shutdown.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace penelope {
+
+namespace {
+
+std::atomic<bool> g_shutdownRequested{false};
+
+extern "C" void
+shutdownSignalHandler(int signum)
+{
+    g_shutdownRequested.store(true, std::memory_order_relaxed);
+    // One request is cooperative; a second is an order.  Restoring
+    // the default disposition lets the next delivery terminate a
+    // process whose drain is stuck.
+    std::signal(signum, SIG_DFL);
+}
+
+} // namespace
+
+void
+installShutdownHandlers()
+{
+    std::signal(SIGINT, shutdownSignalHandler);
+    std::signal(SIGTERM, shutdownSignalHandler);
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdownRequested.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown()
+{
+    g_shutdownRequested.store(true, std::memory_order_relaxed);
+}
+
+void
+resetShutdownForTests()
+{
+    g_shutdownRequested.store(false, std::memory_order_relaxed);
+}
+
+} // namespace penelope

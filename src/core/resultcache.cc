@@ -285,11 +285,15 @@ parseRecords(std::string_view body, Sink &&sink,
 struct ResultCache::Stripe
 {
     /** One cached payload plus its GC mark: an entry is live once
-     *  this process has looked it up or stored it (see compact()). */
+     *  this process has looked it up or stored it (see compact()).
+     *  onDisk tracks whether the attached stripe file already holds
+     *  the record (loads and store() appends do; imports do not
+     *  until flushToDisk()). */
     struct Entry
     {
         std::string payload;
         bool live = false;
+        bool onDisk = false;
     };
 
     std::mutex mutex;
@@ -372,7 +376,7 @@ ResultCache::ensureLoaded(unsigned index, Stripe &stripe)
                         stripe.map.emplace(
                             key,
                             Stripe::Entry{std::string(payload),
-                                          false});
+                                          false, true});
                     },
                     parsed_end);
                 if (parsed_end < body.size()) {
@@ -465,6 +469,7 @@ ResultCache::store(const Hash128 &key, std::string_view payload)
                 stripe.append = nullptr;
             } else {
                 std::fflush(stripe.append);
+                it->second.onDisk = true;
             }
         }
     }
@@ -483,6 +488,74 @@ ResultCache::exportToBytes(std::string &out)
         for (const auto &[key, entry] : stripe.map)
             out += encodeRecord(key, entry.payload);
     }
+}
+
+void
+ResultCache::exportNewEntries(
+    std::unordered_set<Hash128, Hash128Hasher> &already,
+    std::string &out)
+{
+    out = fileHeader();
+    for (unsigned i = 0; i < kStripes; ++i) {
+        Stripe &stripe = stripes_[i];
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        ensureLoaded(i, stripe);
+        for (const auto &[key, entry] : stripe.map) {
+            if (!already.insert(key).second)
+                continue;
+            out += encodeRecord(key, entry.payload);
+        }
+    }
+}
+
+std::size_t
+ResultCache::exportByteSize()
+{
+    // Header + per-record framing: key (16) + length (4) +
+    // checksum (8) around each payload (see encodeRecord).
+    std::size_t bytes = fileHeader().size();
+    for (unsigned i = 0; i < kStripes; ++i) {
+        Stripe &stripe = stripes_[i];
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        ensureLoaded(i, stripe);
+        for (const auto &[key, entry] : stripe.map)
+            bytes += 28 + entry.payload.size();
+    }
+    return bytes;
+}
+
+std::size_t
+ResultCache::flushToDisk()
+{
+    if (dir_.empty())
+        return 0;
+    std::size_t appended = 0;
+    for (unsigned i = 0; i < kStripes; ++i) {
+        Stripe &stripe = stripes_[i];
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        ensureLoaded(i, stripe);
+        if (!stripe.append)
+            continue;
+        bool dirty = false;
+        for (auto &[key, entry] : stripe.map) {
+            if (entry.onDisk)
+                continue;
+            const std::string record =
+                encodeRecord(key, entry.payload);
+            if (std::fwrite(record.data(), 1, record.size(),
+                            stripe.append) != record.size()) {
+                std::fclose(stripe.append);
+                stripe.append = nullptr;
+                break;
+            }
+            entry.onDisk = true;
+            dirty = true;
+            ++appended;
+        }
+        if (dirty && stripe.append)
+            std::fflush(stripe.append);
+    }
+    return appended;
 }
 
 bool
@@ -599,6 +672,12 @@ ResultCache::compact()
             std::filesystem::rename(tmp, path, ec);
             if (ec)
                 rewritten = false;
+        }
+        if (rewritten) {
+            // The rewrite persisted every survivor, including ones
+            // that had only been imported into memory before.
+            for (auto &[key, entry] : stripe.map)
+                entry.onDisk = true;
         }
         if (!rewritten) {
             // The original (uncompacted) file still holds every

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Retry pacing: exponential backoff with decorrelated jitter.
+ *
+ * The schedule follows the "decorrelated jitter" recipe (each delay
+ * drawn uniformly from [base, 3 * previous], capped), which spreads
+ * concurrent retriers apart instead of re-colliding them on
+ * exponential boundaries.  Unlike the textbook version, the draw is
+ * a pure function of (seed, stream, attempt): tests replay exact
+ * delay sequences, and two slices retried concurrently still draw
+ * independent schedules via their stream ids.
+ */
+
+#ifndef PENELOPE_NET_BACKOFF_HH
+#define PENELOPE_NET_BACKOFF_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/resultcache.hh"
+
+namespace penelope {
+namespace net {
+
+struct BackoffPolicy
+{
+    int baseMs = 50;
+    int capMs = 2'000;
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+    /**
+     * Delay before retry @p attempt (1-based) of @p stream.
+     * Deterministic: recomputes the decorrelated chain from
+     * attempt 1 (attempt counts are single digits in practice).
+     */
+    int
+    delayMs(std::uint64_t stream, unsigned attempt) const
+    {
+        const int base = std::max(baseMs, 1);
+        const int cap = std::max(capMs, base);
+        int prev = base;
+        int delay = base;
+        for (unsigned k = 1; k <= attempt; ++k) {
+            const std::uint64_t key[2] = {stream, k};
+            const std::uint64_t bits =
+                murmur3_128(key, sizeof(key), seed).lo;
+            const std::int64_t hi =
+                std::min<std::int64_t>(cap,
+                                       std::int64_t(prev) * 3);
+            delay = base +
+                static_cast<int>(
+                    bits % static_cast<std::uint64_t>(
+                               hi - base + 1));
+            prev = delay;
+        }
+        return delay;
+    }
+};
+
+} // namespace net
+} // namespace penelope
+
+#endif // PENELOPE_NET_BACKOFF_HH

@@ -1,34 +1,60 @@
 #include "coordinator.hh"
 
-#include <chrono>
+#include <algorithm>
 
 namespace penelope {
 namespace net {
 
 namespace {
 
-/** Listener poll granularity: how often the accept loop re-checks
- *  for completion. */
-constexpr int kAcceptPollMs = 100;
+/** Listener/handler poll granularity: how often blocked loops
+ *  re-check for completion, stop requests and deadlines. */
+constexpr int kPollMs = 100;
+
+/** jobId carried by a Rejected update that answers a request whose
+ *  job never existed (an undecodable submit, an unknown id). */
+constexpr std::uint32_t kNoJobId = 0xffffffffu;
+
+/** Sentinel for "no update sent to this client yet". */
+constexpr std::uint64_t kNeverSent = ~0ull;
+
+using Clock = std::chrono::steady_clock;
 
 double
-secondsSince(std::chrono::steady_clock::time_point t0)
+secondsSince(Clock::time_point t0)
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::chrono::milliseconds
+ms(int n)
+{
+    return std::chrono::milliseconds(n);
 }
 
 } // namespace
 
 Coordinator::Coordinator(const ShardPlan &plan, ResultCache &cache,
                          const CoordinatorConfig &config)
-    : plan_(plan), cache_(cache), config_(config)
+    : initialPlan_(plan), resident_(false), cache_(cache),
+      config_(config)
 {
-    done_.assign(plan_.sliceCount, false);
-    for (unsigned slice = 0; slice < plan_.sliceCount; ++slice)
-        pending_.push_back(slice);
-    stats_.slices = plan_.sliceCount;
+    backoff_.baseMs = config_.backoffBaseMs;
+    backoff_.capMs = std::max(config_.backoffCapMs,
+                              config_.backoffBaseMs);
+    backoff_.seed = config_.backoffSeed;
+    std::lock_guard<std::mutex> lock(mutex_);
+    createJobLocked(initialPlan_);
+}
+
+Coordinator::Coordinator(ResultCache &cache,
+                         const CoordinatorConfig &config)
+    : resident_(true), cache_(cache), config_(config)
+{
+    backoff_.baseMs = config_.backoffBaseMs;
+    backoff_.capMs = std::max(config_.backoffCapMs,
+                              config_.backoffBaseMs);
+    backoff_.seed = config_.backoffSeed;
 }
 
 Coordinator::~Coordinator()
@@ -37,8 +63,9 @@ Coordinator::~Coordinator()
         // A destroyed coordinator releases every handler, even
         // after a run() that never completed.
         std::lock_guard<std::mutex> lock(mutex_);
-        finished_ = true;
+        stopping_ = true;
     }
+    abandon_.store(true, std::memory_order_relaxed);
     cv_.notify_all();
     for (std::thread &handler : handlers_) {
         if (handler.joinable())
@@ -56,11 +83,68 @@ Coordinator::start(std::string *error)
     return true;
 }
 
-bool
-Coordinator::allDone() const
+void
+Coordinator::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+}
+
+JobState
+Coordinator::jobState(std::uint32_t job) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return finished_;
+    const auto it = jobs_.find(job);
+    return it == jobs_.end() ? JobState::Rejected
+                             : it->second.state;
+}
+
+std::vector<std::uint32_t>
+Coordinator::incompleteSlices(std::uint32_t job) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint32_t> manifest;
+    const auto it = jobs_.find(job);
+    if (it == jobs_.end() || !jobStateFinal(it->second.state) ||
+        it->second.state == JobState::Complete)
+        return manifest;
+    for (std::uint32_t s = 0; s < it->second.slices.size(); ++s) {
+        if (it->second.slices[s] != SliceState::Done)
+            manifest.push_back(s);
+    }
+    return manifest;
+}
+
+std::uint32_t
+Coordinator::createJobLocked(const ShardPlan &plan)
+{
+    const std::uint32_t id = nextJobId_++;
+    Job &job = jobs_[id];
+    job.id = id;
+    job.plan = plan;
+    job.slices.assign(plan.sliceCount, SliceState::Pending);
+    job.attempts.assign(plan.sliceCount, 0);
+    const Clock::time_point now = Clock::now();
+    for (std::uint32_t s = 0; s < plan.sliceCount; ++s)
+        ready_.push_back(Ready{id, s, now});
+    stats_.slices += plan.sliceCount;
+    return id;
+}
+
+void
+Coordinator::finalizeJobLocked(Job &job)
+{
+    if (jobStateFinal(job.state))
+        return;
+    if (job.doneCount + job.failedCount < job.slices.size())
+        return;
+    job.state = job.failedCount ? JobState::Partial
+                                : JobState::Complete;
+    ++job.updateSeq;
+    ++stats_.jobsFinished;
 }
 
 bool
@@ -68,11 +152,31 @@ Coordinator::run()
 {
     if (!listener_.valid())
         return false;
-    const auto t0 = std::chrono::steady_clock::now();
+    const Clock::time_point t0 = Clock::now();
 
-    while (!allDone()) {
-        Socket conn = listener_.accept(kAcceptPollMs);
+    const auto doneServing = [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return true;
+        if (!resident_) {
+            const auto it = jobs_.find(0);
+            return it != jobs_.end() &&
+                jobStateFinal(it->second.state);
+        }
+        return false;
+    };
+
+    while (!doneServing()) {
+        if (config_.stopRequested && config_.stopRequested()) {
+            requestStop();
+            break;
+        }
+        Socket conn = listener_.accept(kPollMs);
         if (conn.valid()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                continue; // dropped: no new work past a stop
+            ++activeHandlers_;
             handlers_.emplace_back(
                 [this, sock = std::move(conn)]() mutable {
                     serveConnection(std::move(sock));
@@ -80,6 +184,43 @@ Coordinator::run()
         }
     }
     listener_.close();
+
+    // Graceful drain: no new claims, but in-flight slices get
+    // drainTimeoutMs to land (their receives keep running -- only
+    // abandon_ aborts them).
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait_for(lock,
+                     ms(std::max(config_.drainTimeoutMs, 0)),
+                     [this] { return inFlight_ == 0; });
+
+        // Whatever did not land is now explicitly incomplete: every
+        // unresolved job degrades to Partial (its manifest is the
+        // set of slices not Done) instead of hanging the caller.
+        for (auto &[id, job] : jobs_) {
+            if (jobStateFinal(job.state))
+                continue;
+            job.state = JobState::Partial;
+            ++job.updateSeq;
+            ++stats_.jobsFinished;
+        }
+        ready_.clear();
+    }
+    cv_.notify_all();
+
+    // One last beat for client streams to push the final updates,
+    // then release everything still blocked and join.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait_for(lock, ms(1000),
+                     [this] { return activeHandlers_ == 0; });
+    }
+    abandon_.store(true, std::memory_order_relaxed);
     cv_.notify_all();
     for (std::thread &handler : handlers_)
         handler.join();
@@ -90,122 +231,444 @@ Coordinator::run()
 }
 
 bool
-Coordinator::claimSlice(unsigned &slice)
+Coordinator::claimSlice(Claim &claim)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock,
-             [this] { return finished_ || !pending_.empty(); });
-    if (finished_)
-        return false;
-    slice = pending_.front();
-    pending_.pop_front();
-    ++stats_.assignments;
-    return true;
+    for (;;) {
+        if (stopping_)
+            return false;
+        const Clock::time_point now = Clock::now();
+        Clock::time_point nearest = Clock::time_point::max();
+        for (auto it = ready_.begin(); it != ready_.end();) {
+            const auto jt = jobs_.find(it->job);
+            if (jt == jobs_.end() ||
+                jobStateFinal(jt->second.state)) {
+                it = ready_.erase(it); // job cancelled/finalized
+                continue;
+            }
+            if (it->notBefore <= now) {
+                Job &job = jt->second;
+                claim.job = it->job;
+                claim.slice = it->slice;
+                claim.plan = job.plan;
+                job.slices[it->slice] = SliceState::Assigned;
+                ++job.attempts[it->slice];
+                if (job.state == JobState::Accepted) {
+                    job.state = JobState::Running;
+                    ++job.updateSeq;
+                }
+                ready_.erase(it);
+                ++inFlight_;
+                ++stats_.assignments;
+                cv_.notify_all();
+                return true;
+            }
+            nearest = std::min(nearest, it->notBefore);
+            ++it;
+        }
+        // Sleep until something becomes dispatchable: a new job, a
+        // forfeit, a stop, or the nearest backoff expiry.
+        if (nearest == Clock::time_point::max())
+            cv_.wait(lock);
+        else
+            cv_.wait_until(lock, nearest);
+    }
 }
 
 void
-Coordinator::requeueSlice(unsigned slice, bool after_assignment)
+Coordinator::forfeitSlice(const Claim &claim, bool hung)
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (done_[slice])
-            return; // completed elsewhere meanwhile
-        pending_.push_back(slice);
-        if (after_assignment)
-            ++stats_.reassignments;
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inFlight_;
+    const auto jt = jobs_.find(claim.job);
+    if (jt == jobs_.end()) {
+        cv_.notify_all();
+        return;
+    }
+    Job &job = jt->second;
+    if (jobStateFinal(job.state) ||
+        job.slices[claim.slice] != SliceState::Assigned) {
+        cv_.notify_all();
+        return;
+    }
+    ++stats_.reassignments;
+    if (hung)
+        ++stats_.hungForfeits;
+    ++job.retries;
+    ++job.updateSeq;
+    if (stopping_) {
+        // Draining: nothing will claim it again; the stop sequence
+        // folds it into the job's incomplete manifest.
+        job.slices[claim.slice] = SliceState::Pending;
+    } else if (job.attempts[claim.slice] > config_.retryBudget) {
+        job.slices[claim.slice] = SliceState::Failed;
+        ++job.failedCount;
+        ++stats_.slicesFailed;
+        finalizeJobLocked(job);
+    } else {
+        // Deterministic backoff: the delay is a pure function of
+        // (seed, job/slice stream, attempt), so a seeded test
+        // replays the exact schedule.
+        const std::uint64_t stream =
+            (static_cast<std::uint64_t>(claim.job) << 32) |
+            claim.slice;
+        job.slices[claim.slice] = SliceState::Pending;
+        ready_.push_back(Ready{
+            claim.job, claim.slice,
+            Clock::now() +
+                ms(backoff_.delayMs(stream,
+                                    job.attempts[claim.slice]))});
     }
     cv_.notify_all();
 }
 
 void
-Coordinator::completeSlice(const ResultMessage &result)
+Coordinator::completeSlice(const Claim &claim,
+                           const ResultMessage &result)
 {
     // Import outside the coordination lock: entry insertion has its
     // own striped locking, and a large entry stream should not
     // stall claims.  Duplicate imports deduplicate by key.
-    const auto t0 = std::chrono::steady_clock::now();
+    const Clock::time_point t0 = Clock::now();
     cache_.importFromBytes(result.entries);
     const double import_seconds = secondsSince(t0);
 
-    bool finished_now = false;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stats_.resultBytes += result.entries.size();
-        stats_.workerSimSeconds += result.simSeconds;
-        stats_.importSeconds += import_seconds;
-        if (done_[result.sliceIndex]) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inFlight_;
+    stats_.resultBytes += result.entries.size();
+    stats_.workerSimSeconds += result.simSeconds;
+    stats_.importSeconds += import_seconds;
+    const auto jt = jobs_.find(claim.job);
+    if (jt != jobs_.end()) {
+        Job &job = jt->second;
+        if (job.slices[claim.slice] == SliceState::Done) {
             ++stats_.duplicateResults;
-        } else {
-            done_[result.sliceIndex] = true;
-            if (++doneCount_ == done_.size()) {
-                finished_ = true;
-                finished_now = true;
-            }
+        } else if (!jobStateFinal(job.state) &&
+                   job.slices[claim.slice] ==
+                       SliceState::Assigned) {
+            job.slices[claim.slice] = SliceState::Done;
+            ++job.doneCount;
+            ++job.updateSeq;
+            finalizeJobLocked(job);
         }
     }
-    if (finished_now)
-        cv_.notify_all();
+    cv_.notify_all();
 }
 
 void
 Coordinator::serveConnection(Socket sock)
 {
-    const AbortFn abort = [this] { return allDone(); };
+    const AbortFn abort = [this] {
+        return abandon_.load(std::memory_order_relaxed);
+    };
 
-    // Handshake: one Hello, protocol version verified by decode().
+    // The first frame declares the peer's role: Hello = worker,
+    // job-control = client.  Anything else is a protocol breach
+    // and the connection is dropped (cleanly: no work was claimed).
     Frame frame;
-    if (recvFrame(sock, frame, config_.sliceTimeoutMs, abort) !=
-            RecvStatus::Ok ||
-        frame.type != MessageType::Hello)
-        return;
-    HelloMessage hello;
-    {
-        ByteReader r(frame.payload);
-        if (!hello.decode(r))
-            return;
+    const RecvStatus status =
+        recvFrame(sock, frame, config_.sliceTimeoutMs, abort);
+    if (status == RecvStatus::Ok) {
+        switch (frame.type) {
+          case MessageType::Hello: {
+            HelloMessage hello;
+            ByteReader r(frame.payload);
+            if (hello.decode(r)) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.workersSeen;
+                    stats_.workerCpus.push_back(hello.hostCpus);
+                }
+                serveWorker(sock, frame.flags);
+            }
+            break;
+          }
+          case MessageType::SubmitJob:
+          case MessageType::JobStatus:
+          case MessageType::CancelJob:
+            serveClient(sock, std::move(frame));
+            break;
+          default:
+            break;
+        }
     }
+
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.workersSeen;
-        stats_.workerCpus.push_back(hello.hostCpus);
+        --activeHandlers_;
     }
+    cv_.notify_all();
+}
 
-    unsigned slice = 0;
-    while (claimSlice(slice)) {
+void
+Coordinator::serveWorker(Socket &sock, std::uint32_t peerCaps)
+{
+    const AbortFn abort = [this] {
+        return abandon_.load(std::memory_order_relaxed);
+    };
+    const bool heartbeats = (peerCaps & kCapHeartbeat) != 0 &&
+        config_.heartbeatTimeoutMs > 0;
+
+    Claim claim;
+    Frame frame;
+    while (claimSlice(claim)) {
         AssignMessage assign;
-        assign.sliceIndex = slice;
-        assign.plan = plan_;
+        assign.sliceIndex = claim.slice;
+        assign.plan = claim.plan;
         ByteWriter w;
         assign.encode(w);
         if (!sendFrame(sock, MessageType::Assign, w.view())) {
-            requeueSlice(slice, true);
+            forfeitSlice(claim, false);
             return;
         }
 
-        const RecvStatus status = recvFrame(
-            sock, frame, config_.sliceTimeoutMs, abort);
-        if (status != RecvStatus::Ok ||
-            frame.type != MessageType::Result) {
-            // Disconnect, timeout, corruption or protocol breach:
-            // the slice is forfeit.  A late duplicate Result from
-            // this worker cannot arrive (the connection dies with
-            // this handler), and one from a reassignment is
-            // deduplicated on import.
-            requeueSlice(slice, true);
-            return;
+        // Await the Result under two deadlines: the generous slice
+        // timeout, and -- for heartbeat-capable workers -- the much
+        // tighter liveness deadline.  Forfeiting returns, which
+        // closes the connection: a worker that wakes up later sees
+        // EOF instead of hanging on a dead conversation.
+        const Clock::time_point assigned = Clock::now();
+        Clock::time_point last_heard = assigned;
+        bool completed = false;
+        while (!completed) {
+            const Clock::time_point now = Clock::now();
+            if (config_.sliceTimeoutMs >= 0 &&
+                now - assigned > ms(config_.sliceTimeoutMs)) {
+                forfeitSlice(claim, false);
+                return;
+            }
+            if (heartbeats &&
+                now - last_heard > ms(config_.heartbeatTimeoutMs)) {
+                forfeitSlice(claim, true);
+                return;
+            }
+            if (abort()) {
+                forfeitSlice(claim, false);
+                return;
+            }
+            if (!sock.waitReadable(kPollMs))
+                continue;
+
+            // Bytes are available: once a frame starts it must
+            // finish promptly (sends on one socket are serialized,
+            // so nothing interleaves mid-frame).
+            const int recv_timeout = heartbeats
+                ? std::max(config_.heartbeatTimeoutMs, 1000)
+                : config_.sliceTimeoutMs;
+            const RecvStatus status =
+                recvFrame(sock, frame, recv_timeout, abort);
+            if (status != RecvStatus::Ok) {
+                forfeitSlice(claim, false);
+                return;
+            }
+            if (frame.type == MessageType::Heartbeat) {
+                HeartbeatMessage beat;
+                ByteReader r(frame.payload);
+                if (!beat.decode(r) ||
+                    beat.sliceIndex != claim.slice) {
+                    forfeitSlice(claim, false);
+                    return;
+                }
+                last_heard = Clock::now();
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.heartbeats;
+                continue;
+            }
+            if (frame.type != MessageType::Result) {
+                forfeitSlice(claim, false);
+                return;
+            }
+            ResultMessage result;
+            ByteReader r(frame.payload);
+            if (!result.decode(r) ||
+                result.sliceIndex != claim.slice) {
+                forfeitSlice(claim, false);
+                return;
+            }
+            completeSlice(claim, result);
+            completed = true;
         }
-        ResultMessage result;
-        ByteReader r(frame.payload);
-        if (!result.decode(r) || result.sliceIndex != slice) {
-            requeueSlice(slice, true);
-            return;
-        }
-        completeSlice(result);
     }
 
-    // All slices done: release the worker.  Best effort -- a
+    // No more work for this worker: release it.  Best effort -- a
     // worker that vanished already is someone else's exit path.
     sendFrame(sock, MessageType::Shutdown, {});
+}
+
+bool
+Coordinator::sendJobUpdate(
+    Socket &sock, std::uint32_t jobId,
+    std::unordered_set<Hash128, Hash128Hasher> &sentKeys,
+    std::uint64_t *seenSeq)
+{
+    JobUpdateMessage update;
+    bool final = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(jobId);
+        if (it == jobs_.end())
+            return true;
+        const Job &job = it->second;
+        if (*seenSeq != kNeverSent && job.updateSeq == *seenSeq)
+            return true; // nothing new
+        *seenSeq = job.updateSeq;
+        update.jobId = jobId;
+        update.state = job.state;
+        update.slicesDone = job.doneCount;
+        update.slicesTotal =
+            static_cast<std::uint32_t>(job.slices.size());
+        update.retries = job.retries;
+        if (job.state == JobState::Partial) {
+            for (std::uint32_t s = 0; s < job.slices.size(); ++s) {
+                if (job.slices[s] != SliceState::Done)
+                    update.incompleteSlices.push_back(s);
+            }
+        }
+        final = jobStateFinal(job.state);
+    }
+
+    // Entry bytes outside the lock (the export can be large).
+    // Intermediate updates stream only what this client has not
+    // seen; the final update of a Complete/Partial job carries the
+    // full store, so a freshly (re)connected client still renders
+    // bit-identically -- entries may have landed under other jobs
+    // sharing this cache.
+    if (final)
+        cache_.exportToBytes(update.entries);
+    else
+        cache_.exportNewEntries(sentKeys, update.entries);
+    ByteWriter w;
+    update.encode(w);
+    return sendFrame(sock, MessageType::JobUpdate, w.view());
+}
+
+void
+Coordinator::serveClient(Socket &sock, Frame first)
+{
+    const AbortFn abort = [this] {
+        return abandon_.load(std::memory_order_relaxed);
+    };
+
+    const auto sendRejected = [&](std::uint32_t id) {
+        JobUpdateMessage update;
+        update.jobId = id;
+        update.state = JobState::Rejected;
+        ByteWriter w;
+        update.encode(w);
+        return sendFrame(sock, MessageType::JobUpdate, w.view());
+    };
+
+    // Per-connection delta state: entry keys this client has seen
+    // (exportNewEntries) and, per watched job, the last update
+    // sequence pushed.
+    std::unordered_set<Hash128, Hash128Hasher> sent_keys;
+    std::map<std::uint32_t, std::uint64_t> watched;
+
+    Frame frame = std::move(first);
+    bool have_frame = true;
+    while (!abort()) {
+        if (have_frame) {
+            have_frame = false;
+            switch (frame.type) {
+              case MessageType::SubmitJob: {
+                SubmitJobMessage submit;
+                ByteReader r(frame.payload);
+                std::uint32_t id = kNoJobId;
+                if (submit.decode(r)) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (!stopping_) {
+                        id = createJobLocked(submit.plan);
+                        ++stats_.jobsSubmitted;
+                    }
+                }
+                if (id == kNoJobId) {
+                    if (!sendRejected(kNoJobId))
+                        return;
+                } else {
+                    cv_.notify_all(); // workers: new slices
+                    watched[id] = kNeverSent;
+                }
+                break;
+              }
+              case MessageType::JobStatus: {
+                JobStatusMessage status;
+                ByteReader r(frame.payload);
+                bool known = false;
+                if (status.decode(r)) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    known = jobs_.count(status.jobId) != 0;
+                }
+                if (known)
+                    watched[status.jobId] = kNeverSent; // resync
+                else if (!sendRejected(status.jobId))
+                    return;
+                break;
+              }
+              case MessageType::CancelJob: {
+                CancelJobMessage cancel;
+                ByteReader r(frame.payload);
+                bool known = false;
+                if (cancel.decode(r)) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    const auto it = jobs_.find(cancel.jobId);
+                    if (it != jobs_.end()) {
+                        known = true;
+                        Job &job = it->second;
+                        job.cancelled = true;
+                        if (!jobStateFinal(job.state)) {
+                            job.state = JobState::Cancelled;
+                            ++job.updateSeq;
+                            ++stats_.jobsFinished;
+                        }
+                    }
+                }
+                if (known) {
+                    cv_.notify_all(); // claims drop its slices
+                    watched[cancel.jobId] = kNeverSent;
+                } else if (!sendRejected(cancel.jobId)) {
+                    return;
+                }
+                break;
+              }
+              default:
+                return; // protocol breach: drop the client
+            }
+        }
+
+        // Push progress on every watched job that changed.
+        for (auto &[id, seen_seq] : watched) {
+            if (!sendJobUpdate(sock, id, sent_keys, &seen_seq))
+                return;
+        }
+
+        // Stopping and everything watched delivered in a final
+        // state: the conversation is over.  "Delivered" matters --
+        // a job finalized between the push above and this check
+        // still owes its client one update.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) {
+                bool all_delivered = true;
+                for (const auto &[id, seen_seq] : watched) {
+                    const auto it = jobs_.find(id);
+                    if (it == jobs_.end())
+                        continue;
+                    if (!jobStateFinal(it->second.state) ||
+                        seen_seq != it->second.updateSeq)
+                        all_delivered = false;
+                }
+                if (all_delivered)
+                    return;
+            }
+        }
+
+        if (sock.waitReadable(kPollMs)) {
+            if (recvFrame(sock, frame, 5000, abort) !=
+                RecvStatus::Ok)
+                return; // closed or corrupt: drop the client
+            have_frame = true;
+        }
+    }
 }
 
 } // namespace net

@@ -1,5 +1,10 @@
 #include "protocol.hh"
 
+#include <chrono>
+#include <thread>
+
+#include "net/faultinject.hh"
+
 namespace penelope {
 namespace net {
 
@@ -21,6 +26,11 @@ knownType(std::uint32_t type)
       case MessageType::Assign:
       case MessageType::Result:
       case MessageType::Shutdown:
+      case MessageType::Heartbeat:
+      case MessageType::SubmitJob:
+      case MessageType::JobStatus:
+      case MessageType::JobUpdate:
+      case MessageType::CancelJob:
         return true;
     }
     return false;
@@ -29,13 +39,14 @@ knownType(std::uint32_t type)
 } // namespace
 
 std::string
-encodeFrame(MessageType type, std::string_view payload)
+encodeFrame(MessageType type, std::string_view payload,
+            std::uint32_t flags)
 {
     ByteWriter w;
     w.u32(kProtocolMagic);
     w.u32(kProtocolVersion);
     w.u32(static_cast<std::uint32_t>(type));
-    w.u32(0); // reserved
+    w.u32(flags);
     w.u64(payload.size());
     w.u64(payloadChecksum(type, payload));
     w.bytes(payload.data(), payload.size());
@@ -43,10 +54,54 @@ encodeFrame(MessageType type, std::string_view payload)
 }
 
 bool
-sendFrame(Socket &sock, MessageType type,
-          std::string_view payload)
+sendFrame(Socket &sock, MessageType type, std::string_view payload,
+          std::uint32_t flags)
 {
-    const std::string frame = encodeFrame(type, payload);
+    std::string frame = encodeFrame(type, payload, flags);
+
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.enabled()) {
+        std::size_t cut = 0;
+        const FaultAction action = injector.sendAction(
+            sock.connectionId(), sock.nextSendOp(), frame.size(),
+            cut);
+        injector.note(action);
+        switch (action) {
+          case FaultAction::Drop:
+            // The frame vanishes but the sender believes it went
+            // out -- the peer's deadline machinery must recover.
+            return true;
+          case FaultAction::Flip:
+            frame[cut] = static_cast<char>(frame[cut] ^ 0x40);
+            break;
+          case FaultAction::Truncate: {
+            // A strict prefix, then EOF on the write side: the
+            // peer sees a mid-frame stream end.
+            const bool sent = sock.sendAll(frame.data(), cut);
+            sock.shutdownWrite();
+            return sent;
+          }
+          case FaultAction::HalfClose: {
+            const bool sent =
+                sock.sendAll(frame.data(), frame.size());
+            sock.shutdownWrite();
+            return sent;
+          }
+          case FaultAction::Delay:
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                injector.config().delayMs));
+            break;
+          case FaultAction::Stall:
+            // A peer that is alive at the TCP level but no longer
+            // talking: block (bounded), then report failure.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                injector.config().stallMs));
+            return false;
+          case FaultAction::None:
+            break;
+        }
+    }
+
     return sock.sendAll(frame.data(), frame.size());
 }
 
@@ -54,6 +109,17 @@ RecvStatus
 recvFrame(Socket &sock, Frame &frame, int timeout_ms,
           const AbortFn &abort)
 {
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.enabled()) {
+        const FaultAction action = injector.recvAction(
+            sock.connectionId(), sock.nextRecvOp());
+        if (action == FaultAction::Delay) {
+            injector.note(action);
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                injector.config().delayMs));
+        }
+    }
+
     char header[kFrameHeaderBytes];
     if (!sock.recvAll(header, sizeof(header), timeout_ms, abort))
         return RecvStatus::Closed;
@@ -62,7 +128,7 @@ recvFrame(Socket &sock, Frame &frame, int timeout_ms,
     const std::uint32_t magic = r.u32();
     const std::uint32_t version = r.u32();
     const std::uint32_t type = r.u32();
-    r.u32(); // reserved
+    const std::uint32_t flags = r.u32();
     const std::uint64_t length = r.u64();
     const std::uint64_t checksum = r.u64();
 
@@ -71,6 +137,7 @@ recvFrame(Socket &sock, Frame &frame, int timeout_ms,
         return RecvStatus::Corrupt;
 
     frame.type = static_cast<MessageType>(type);
+    frame.flags = flags;
     frame.payload.resize(static_cast<std::size_t>(length));
     if (length > 0 &&
         !sock.recvAll(frame.payload.data(), frame.payload.size(),
@@ -143,6 +210,141 @@ ResultMessage::decode(ByteReader &r)
         return false;
     entries.assign(bytes);
     return simSeconds >= 0.0;
+}
+
+void
+HeartbeatMessage::encode(ByteWriter &w) const
+{
+    w.u32(sliceIndex);
+    w.u64(sequence);
+}
+
+bool
+HeartbeatMessage::decode(ByteReader &r)
+{
+    sliceIndex = r.u32();
+    sequence = r.u64();
+    return r.ok() && r.atEnd();
+}
+
+void
+SubmitJobMessage::encode(ByteWriter &w) const
+{
+    plan.encode(w);
+}
+
+bool
+SubmitJobMessage::decode(ByteReader &r)
+{
+    return plan.decode(r) && r.atEnd();
+}
+
+void
+JobStatusMessage::encode(ByteWriter &w) const
+{
+    w.u32(jobId);
+}
+
+bool
+JobStatusMessage::decode(ByteReader &r)
+{
+    jobId = r.u32();
+    return r.ok() && r.atEnd();
+}
+
+void
+CancelJobMessage::encode(ByteWriter &w) const
+{
+    w.u32(jobId);
+}
+
+bool
+CancelJobMessage::decode(ByteReader &r)
+{
+    jobId = r.u32();
+    return r.ok() && r.atEnd();
+}
+
+bool
+jobStateFinal(JobState state)
+{
+    return state == JobState::Rejected ||
+        state == JobState::Complete ||
+        state == JobState::Partial ||
+        state == JobState::Cancelled;
+}
+
+namespace {
+
+bool
+knownJobState(std::uint8_t state)
+{
+    switch (static_cast<JobState>(state)) {
+      case JobState::Rejected:
+      case JobState::Accepted:
+      case JobState::Running:
+      case JobState::Complete:
+      case JobState::Partial:
+      case JobState::Cancelled:
+        return true;
+    }
+    return false;
+}
+
+/** Decode-side bound mirroring the ShardPlan slice cap. */
+constexpr std::uint32_t kMaxManifestSlices = 531;
+
+} // namespace
+
+void
+JobUpdateMessage::encode(ByteWriter &w) const
+{
+    w.u32(jobId);
+    w.u8(static_cast<std::uint8_t>(state));
+    w.u32(slicesDone);
+    w.u32(slicesTotal);
+    w.u32(retries);
+    w.u32(static_cast<std::uint32_t>(incompleteSlices.size()));
+    for (const std::uint32_t slice : incompleteSlices)
+        w.u32(slice);
+    w.u64(entries.size());
+    w.bytes(entries.data(), entries.size());
+}
+
+bool
+JobUpdateMessage::decode(ByteReader &r)
+{
+    jobId = r.u32();
+    const std::uint8_t raw_state = r.u8();
+    slicesDone = r.u32();
+    slicesTotal = r.u32();
+    retries = r.u32();
+    const std::uint32_t manifest = r.u32();
+    if (!r.ok() || !knownJobState(raw_state) ||
+        manifest > kMaxManifestSlices)
+        return false;
+    state = static_cast<JobState>(raw_state);
+    incompleteSlices.clear();
+    incompleteSlices.reserve(manifest);
+    for (std::uint32_t i = 0; i < manifest; ++i)
+        incompleteSlices.push_back(r.u32());
+    const std::uint64_t size = r.u64();
+    if (!r.ok() || size > kMaxFramePayload)
+        return false;
+    const std::string_view bytes =
+        r.bytesView(static_cast<std::size_t>(size));
+    if (!r.ok() || !r.atEnd())
+        return false;
+    entries.assign(bytes);
+    if (slicesTotal > kMaxManifestSlices ||
+        slicesDone > slicesTotal ||
+        incompleteSlices.size() > slicesTotal)
+        return false;
+    for (const std::uint32_t slice : incompleteSlices) {
+        if (slice >= slicesTotal)
+            return false;
+    }
+    return true;
 }
 
 } // namespace net

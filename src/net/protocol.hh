@@ -1,6 +1,6 @@
 /**
  * @file
- * The coordinator/worker wire protocol.
+ * The coordinator/worker/client wire protocol.
  *
  * Length-prefixed frames with a versioned, checksummed binary
  * header, payloads encoded with the same ByteWriter/ByteReader
@@ -15,21 +15,51 @@
  *   u32 magic      'PNLP'
  *   u32 version    kProtocolVersion (foreign versions rejected)
  *   u32 type       MessageType
- *   u32 reserved   0 (capability/flags space for later versions)
+ *   u32 flags      sender capability bits (kCap*; 0 from v1 peers)
  *   u64 length     payload bytes (bounded by kMaxFramePayload)
  *   u64 checksum   murmur3_128(payload, seed = type).lo
  *
- * Conversation:
+ * The flags word is the header field version 1 reserved: a peer
+ * that predates the service extensions writes 0 there, which reads
+ * back as "no capabilities", and every extension below is gated on
+ * the peer having advertised the matching bit -- so old and new
+ * binaries interoperate at the crash-stop PR-5 feature level
+ * without a version bump.  The checksum deliberately excludes the
+ * flags word (folding it in would break exactly that v1 interop):
+ * a corrupted capability bit can only ever *degrade* a connection
+ * to a less capable mode, never change a statistic.
  *
- *   worker -> coordinator   Hello   (version echo, host CPUs)
- *   coordinator -> worker   Assign  (slice index + the ShardPlan)
- *   worker -> coordinator   Result  (slice index, timing, entries)
+ * Worker conversation (capabilities in [brackets]):
+ *
+ *   worker -> coordinator   Hello      (version echo, host CPUs)
+ *   coordinator -> worker   Assign     (slice index + ShardPlan)
+ *   worker -> coordinator   Heartbeat  [kCapHeartbeat] repeated
+ *                                      while the slice runs
+ *   worker -> coordinator   Result     (slice index, entries; only
+ *                                      entries not yet sent on
+ *                                      this connection when the
+ *                                      coordinator advertised
+ *                                      kCapDeltaEntries)
  *   ... Assign/Result repeat ...
  *   coordinator -> worker   Shutdown
  *
- * The Result entry bytes are exactly a ResultCache::exportToBytes()
- * stream -- the same merge-ready format `--shard` writes to disk --
- * so duplicate completions (a reassigned slice finishing twice)
+ * Client conversation [kCapJobs]:
+ *
+ *   client -> coordinator   SubmitJob  (a ShardPlan to run)
+ *   coordinator -> client   JobUpdate  (accepted; then streamed on
+ *                                      every state change, carrying
+ *                                      the slice entry payloads as
+ *                                      they land; the final update
+ *                                      carries state Complete --
+ *                                      or Partial with an explicit
+ *                                      incomplete-slice manifest)
+ *   client -> coordinator   JobStatus  (poll/resync a job by id)
+ *   client -> coordinator   CancelJob
+ *
+ * The Result/JobUpdate entry bytes are exactly a
+ * ResultCache::exportToBytes() stream -- the same merge-ready
+ * format `--shard` writes to disk -- so duplicate completions (a
+ * reassigned slice finishing twice, a client resyncing) always
  * deduplicate on import by content-addressing, for free.
  */
 
@@ -39,6 +69,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/shardplan.hh"
 #include "net/socket.hh"
@@ -57,18 +88,35 @@ inline constexpr std::size_t kFrameHeaderBytes = 32;
  *  configuration). */
 inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
 
+// Capability bits carried in the frame header flags word.  A v1
+// peer writes 0: every capability below degrades to the crash-stop
+// PR-5 behaviour when the peer did not advertise it.
+inline constexpr std::uint32_t kCapHeartbeat = 1u << 0;
+inline constexpr std::uint32_t kCapDeltaEntries = 1u << 1;
+inline constexpr std::uint32_t kCapJobs = 1u << 2;
+
+/** Everything this binary implements. */
+inline constexpr std::uint32_t kLocalCapabilities =
+    kCapHeartbeat | kCapDeltaEntries | kCapJobs;
+
 enum class MessageType : std::uint32_t
 {
     Hello = 1,
     Assign = 2,
     Result = 3,
     Shutdown = 4,
+    Heartbeat = 5,
+    SubmitJob = 6,
+    JobStatus = 7,
+    JobUpdate = 8,
+    CancelJob = 9,
 };
 
 /** One decoded frame. */
 struct Frame
 {
     MessageType type = MessageType::Hello;
+    std::uint32_t flags = 0; ///< sender capability bits
     std::string payload;
 };
 
@@ -81,12 +129,14 @@ enum class RecvStatus
 };
 
 /** Serialize a frame (header + payload) into one byte string. */
-std::string encodeFrame(MessageType type,
-                        std::string_view payload);
+std::string encodeFrame(MessageType type, std::string_view payload,
+                        std::uint32_t flags = kLocalCapabilities);
 
-/** Send one frame; false on any socket error. */
+/** Send one frame; false on any socket error.  Consults the
+ *  process FaultInjector (faultinject.hh) when enabled. */
 bool sendFrame(Socket &sock, MessageType type,
-               std::string_view payload);
+               std::string_view payload,
+               std::uint32_t flags = kLocalCapabilities);
 
 /**
  * Receive and verify one frame.  @p timeout_ms bounds the wait for
@@ -103,12 +153,15 @@ RecvStatus recvFrame(Socket &sock, Frame &frame,
 // ByteReader form; decode() validates and returns false on any
 // inconsistency.
 
-/** worker -> coordinator: introduction. */
+/** worker -> coordinator: introduction.  Sent again after every
+ *  reconnect; the coordinator treats a repeated Hello on one
+ *  connection as idempotent. */
 struct HelloMessage
 {
     std::uint32_t protocolVersion = kProtocolVersion;
     std::uint32_t hostCpus = 0; ///< worker hardware threads
-    std::uint64_t capabilities = 0; ///< reserved (none defined yet)
+    std::uint64_t capabilities = 0; ///< reserved (header flags are
+                                    ///< authoritative)
 
     void encode(ByteWriter &w) const;
     bool decode(ByteReader &r);
@@ -131,6 +184,86 @@ struct ResultMessage
     std::uint32_t hostCpus = 0;
     double simSeconds = 0.0; ///< worker-side wall time for the slice
     std::string entries;     ///< ResultCache::exportToBytes stream
+                             ///< (delta under kCapDeltaEntries)
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** worker -> coordinator [kCapHeartbeat]: proof of life while a
+ *  slice runs.  A worker that stops heartbeating past the
+ *  coordinator's deadline forfeits the slice long before the slice
+ *  timeout -- the hung-but-connected case TCP never surfaces. */
+struct HeartbeatMessage
+{
+    std::uint32_t sliceIndex = 0;
+    std::uint64_t sequence = 0; ///< monotonic per assignment
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** client -> coordinator [kCapJobs]: enqueue a sweep. */
+struct SubmitJobMessage
+{
+    ShardPlan plan;
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** client -> coordinator [kCapJobs]: poll/resync one job. */
+struct JobStatusMessage
+{
+    std::uint32_t jobId = 0;
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** client -> coordinator [kCapJobs]: abandon one job.  Pending
+ *  slices are dropped; in-flight ones finish harmlessly. */
+struct CancelJobMessage
+{
+    std::uint32_t jobId = 0;
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** Lifecycle of a submitted job (wire-stable values). */
+enum class JobState : std::uint8_t
+{
+    Rejected = 0, ///< plan undecodable/unknown to the coordinator
+    Accepted = 1,
+    Running = 2,
+    Complete = 3,
+    Partial = 4, ///< finished degraded: see incompleteSlices
+    Cancelled = 5,
+};
+
+/** True for states a job can never leave. */
+bool jobStateFinal(JobState state);
+
+/** coordinator -> client [kCapJobs]: job progress.  Streamed on
+ *  every state change; `entries` carries the slice result payloads
+ *  that landed since the previous update to this client (partial
+ *  results render as they arrive), and the final update of a
+ *  Complete/Partial job carries the job's full entry stream so a
+ *  freshly (re)connected client still renders bit-identically. */
+struct JobUpdateMessage
+{
+    std::uint32_t jobId = 0;
+    JobState state = JobState::Accepted;
+    std::uint32_t slicesDone = 0;
+    std::uint32_t slicesTotal = 0;
+    std::uint32_t retries = 0; ///< re-dispatches so far (informational)
+
+    /** Slices abandoned after the retry budget: the explicit
+     *  manifest of what a Partial job is missing. */
+    std::vector<std::uint32_t> incompleteSlices;
+
+    std::string entries; ///< ResultCache::exportToBytes stream
 
     void encode(ByteWriter &w) const;
     bool decode(ByteReader &r);

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -16,6 +17,9 @@ namespace penelope {
 namespace net {
 
 namespace {
+
+/** Source of process-unique connection ids (0 = never assigned). */
+std::atomic<std::uint64_t> g_nextConnectionId{1};
 
 /** Poll granularity: the longest a blocked receive goes without
  *  consulting its abort predicate. */
@@ -48,6 +52,13 @@ remainingSlice(std::chrono::steady_clock::time_point deadline,
 
 } // namespace
 
+Socket::Socket(int fd) : fd_(fd)
+{
+    if (fd_ >= 0)
+        connId_ = g_nextConnectionId.fetch_add(
+            1, std::memory_order_relaxed);
+}
+
 void
 Socket::close()
 {
@@ -55,6 +66,24 @@ Socket::close()
         ::close(fd_);
         fd_ = -1;
     }
+}
+
+void
+Socket::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+bool
+Socket::waitReadable(int timeout_ms) const
+{
+    if (fd_ < 0)
+        return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    return ready > 0 &&
+        (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
 }
 
 Socket

@@ -1,6 +1,9 @@
 #include "worker.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "net/protocol.hh"
@@ -10,29 +13,155 @@ namespace net {
 
 namespace {
 
-Socket
-connectWithRetry(const WorkerConfig &config, std::string *error)
+constexpr int kPollMs = 100;
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::milliseconds
+ms(int n)
 {
+    return std::chrono::milliseconds(n);
+}
+
+/** Sleep @p total_ms in short chunks, returning early (true) when
+ *  @p stop fires. */
+bool
+interruptibleSleep(int total_ms, const AbortFn &stop)
+{
+    Clock::time_point deadline = Clock::now() + ms(total_ms);
+    while (Clock::now() < deadline) {
+        if (stop && stop())
+            return true;
+        std::this_thread::sleep_for(ms(std::min(
+            kPollMs,
+            static_cast<int>(
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(deadline -
+                                               Clock::now())
+                    .count()) +
+                1)));
+    }
+    return stop && stop();
+}
+
+/**
+ * Connect with retries, bounded by @p attempts_cap (0 = unlimited)
+ * and @p budget_ms of total elapsed time -- an unreachable
+ * coordinator fails within the budget no matter the retry knobs.
+ * @p stopped is set when the stop predicate ended the loop.
+ */
+Socket
+connectWithBudget(const WorkerConfig &config, unsigned attempts_cap,
+                  int budget_ms, bool &stopped, std::string *error)
+{
+    stopped = false;
     std::string last_error;
-    const unsigned attempts =
-        config.connectAttempts ? config.connectAttempts : 1;
-    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
-        if (attempt > 0) {
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(
-                    config.connectRetryMs > 0
-                        ? config.connectRetryMs
-                        : 1));
+    const Clock::time_point t0 = Clock::now();
+    for (unsigned attempt = 0;; ++attempt) {
+        if (config.stopRequested && config.stopRequested()) {
+            stopped = true;
+            return {};
         }
+        if (attempt > 0) {
+            if (interruptibleSleep(
+                    config.connectRetryMs > 0 ? config.connectRetryMs
+                                              : 1,
+                    config.stopRequested)) {
+                stopped = true;
+                return {};
+            }
+        }
+        if (attempts_cap && attempt >= attempts_cap)
+            break;
+        if (budget_ms > 0 &&
+            Clock::now() - t0 > ms(budget_ms))
+            break;
         Socket sock = Socket::connectTo(config.host, config.port,
                                         &last_error);
         if (sock.valid())
             return sock;
     }
     if (error)
-        *error = last_error;
+        *error = last_error.empty() ? "connect budget exhausted"
+                                    : last_error;
     return {};
 }
+
+/**
+ * Background Heartbeat sender for one assignment.  Sends share the
+ * socket with the main thread's Result send, serialized by
+ * @p send_mutex; the main thread only *receives* concurrently,
+ * which needs no lock.  stop() joins before the Result goes out,
+ * so a Result is never interleaved with a late heartbeat.
+ */
+class HeartbeatSender
+{
+  public:
+    HeartbeatSender(Socket &sock, std::mutex &send_mutex,
+                    std::uint32_t slice, int interval_ms,
+                    std::uint64_t &counter)
+        : sock_(sock), sendMutex_(send_mutex), slice_(slice),
+          intervalMs_(interval_ms), counter_(counter)
+    {
+        if (intervalMs_ > 0)
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    ~HeartbeatSender() { stop(); }
+
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        std::uint64_t sequence = 0;
+        while (!done_) {
+            if (cv_.wait_for(lock, ms(intervalMs_),
+                             [this] { return done_; }))
+                break;
+            lock.unlock();
+            HeartbeatMessage beat;
+            beat.sliceIndex = slice_;
+            beat.sequence = ++sequence;
+            ByteWriter w;
+            beat.encode(w);
+            bool sent;
+            {
+                std::lock_guard<std::mutex> send_lock(sendMutex_);
+                sent = sendFrame(sock_, MessageType::Heartbeat,
+                                 w.view());
+            }
+            if (sent)
+                ++counter_;
+            lock.lock();
+            if (!sent)
+                break; // peer gone; the receive loop will see it
+        }
+    }
+
+    Socket &sock_;
+    std::mutex &sendMutex_;
+    const std::uint32_t slice_;
+    const int intervalMs_;
+    std::uint64_t &counter_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::thread thread_;
+};
 
 } // namespace
 
@@ -51,99 +180,206 @@ runWorker(const WorkerConfig &config, const WorkloadSet &workload,
         return outcome;
     };
 
-    Socket sock = connectWithRetry(config, error);
-    if (!sock.valid())
-        return finish(WorkerOutcome::ConnectFailed);
-
-    HelloMessage hello;
-    hello.hostCpus = config.hostCpus;
-    {
-        ByteWriter w;
-        hello.encode(w);
-        if (!sendFrame(sock, MessageType::Hello, w.view())) {
-            if (error)
-                *error = "sending hello failed";
-            return finish(WorkerOutcome::ConnectionLost);
-        }
-    }
-
+    // Entry keys already sent on the current connection (delta
+    // streams, peer kCapDeltaEntries).  Cleared on reconnect: the
+    // restarted coordinator's cache may have lost everything.
+    std::unordered_set<Hash128, Hash128Hasher> sent_keys;
     unsigned assignments = 0;
-    for (;;) {
-        Frame frame;
-        const RecvStatus status = recvFrame(sock, frame);
-        if (status != RecvStatus::Ok) {
-            if (error)
-                *error = status == RecvStatus::Corrupt
-                    ? "corrupt frame from coordinator"
-                    : "connection to coordinator lost";
-            return finish(WorkerOutcome::ConnectionLost);
-        }
-        if (frame.type == MessageType::Shutdown)
-            break;
-        if (frame.type != MessageType::Assign) {
-            if (error)
-                *error = "unexpected frame from coordinator";
-            return finish(WorkerOutcome::ConnectionLost);
-        }
 
-        AssignMessage assign;
+    /** One connection's conversation; ConnectionLost may be
+     *  retried by the reconnect loop below. */
+    const auto runSession = [&](Socket &sock) -> WorkerOutcome {
+        std::mutex send_mutex;
+
+        HelloMessage hello;
+        hello.hostCpus = config.hostCpus;
         {
-            ByteReader r(frame.payload);
-            if (!assign.decode(r)) {
+            ByteWriter w;
+            hello.encode(w);
+            std::lock_guard<std::mutex> lock(send_mutex);
+            if (!sendFrame(sock, MessageType::Hello, w.view())) {
                 if (error)
-                    *error = "undecodable assignment";
-                return finish(WorkerOutcome::BadAssignment);
+                    *error = "sending hello failed";
+                return WorkerOutcome::ConnectionLost;
             }
         }
-        ++assignments;
-        if (config.abortAfterAssignments &&
-            assignments >= config.abortAfterAssignments) {
-            // Testing hook: die holding the slice.  The abrupt
-            // close is the point -- the coordinator must detect the
-            // loss and reassign.
-            sock.close();
-            if (error)
-                *error = "aborted by --worker-abort-after";
-            return finish(WorkerOutcome::Aborted);
-        }
 
-        const auto t0 = std::chrono::steady_clock::now();
-        if (!runPlanSlice(workload, assign.plan,
-                          assign.sliceIndex, config.jobs,
-                          config.pool, cache)) {
-            // A plan this binary cannot run (unknown experiment:
-            // version skew between coordinator and worker).  Close
-            // so the coordinator reassigns; retrying here could
-            // never succeed.
-            if (error)
-                *error = "assignment names an unknown experiment "
-                         "(binary version skew?)";
-            return finish(WorkerOutcome::BadAssignment);
-        }
-        const double sim_seconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
-        ++local_stats.slicesRun;
-        local_stats.simSeconds += sim_seconds;
+        for (;;) {
+            // Wait for the next frame, honouring stop requests
+            // between assignments (the slice in hand always
+            // finishes; see below).
+            while (!sock.waitReadable(kPollMs)) {
+                if (config.stopRequested && config.stopRequested())
+                    return WorkerOutcome::Drained;
+            }
+            Frame frame;
+            const RecvStatus status =
+                recvFrame(sock, frame, 60'000);
+            if (status != RecvStatus::Ok) {
+                if (error)
+                    *error = status == RecvStatus::Corrupt
+                        ? "corrupt frame from coordinator"
+                        : "connection to coordinator lost";
+                return WorkerOutcome::ConnectionLost;
+            }
+            if (frame.type == MessageType::Shutdown)
+                return WorkerOutcome::Finished;
+            if (frame.type != MessageType::Assign) {
+                if (error)
+                    *error = "unexpected frame from coordinator";
+                return WorkerOutcome::ConnectionLost;
+            }
 
-        ResultMessage result;
-        result.sliceIndex = assign.sliceIndex;
-        result.hostCpus = config.hostCpus;
-        result.simSeconds = sim_seconds;
-        cache.exportToBytes(result.entries);
-        local_stats.sentBytes += result.entries.size();
-        ByteWriter w;
-        result.encode(w);
-        if (!sendFrame(sock, MessageType::Result, w.view())) {
-            if (error)
-                *error = "sending result failed (run finished or "
-                         "coordinator gone)";
-            return finish(WorkerOutcome::ConnectionLost);
+            AssignMessage assign;
+            {
+                ByteReader r(frame.payload);
+                if (!assign.decode(r)) {
+                    if (error)
+                        *error = "undecodable assignment";
+                    return WorkerOutcome::BadAssignment;
+                }
+            }
+            const bool peer_heartbeats =
+                (frame.flags & kCapHeartbeat) != 0;
+            const bool peer_delta =
+                (frame.flags & kCapDeltaEntries) != 0;
+
+            ++assignments;
+            if (config.abortAfterAssignments &&
+                assignments >= config.abortAfterAssignments) {
+                // Testing hook: die holding the slice.  The abrupt
+                // close is the point -- the coordinator must detect
+                // the loss and reassign.
+                sock.close();
+                if (error)
+                    *error = "aborted by --worker-abort-after";
+                return WorkerOutcome::Aborted;
+            }
+            if (config.hangAfterAssignments &&
+                assignments >= config.hangAfterAssignments) {
+                // Testing hook: go silent while keeping the
+                // connection open -- the case only the heartbeat
+                // deadline can catch.  Leave when the coordinator
+                // hangs up on us (the forfeit) or the hold expires.
+                const Clock::time_point t0 = Clock::now();
+                while (config.hangHoldMs < 0 ||
+                       Clock::now() - t0 < ms(config.hangHoldMs)) {
+                    if (!sock.waitReadable(kPollMs))
+                        continue;
+                    Frame probe;
+                    if (recvFrame(sock, probe, 1000) ==
+                        RecvStatus::Closed)
+                        break;
+                }
+                if (error)
+                    *error = "hung by --worker-hang-after";
+                return WorkerOutcome::Hung;
+            }
+
+            const auto t0 = Clock::now();
+            bool ran;
+            {
+                HeartbeatSender heartbeats(
+                    sock, send_mutex, assign.sliceIndex,
+                    peer_heartbeats ? config.heartbeatIntervalMs
+                                    : 0,
+                    local_stats.heartbeatsSent);
+                ran = runPlanSlice(workload, assign.plan,
+                                   assign.sliceIndex, config.jobs,
+                                   config.pool, cache);
+                if (ran && config.slowFactor > 1.0) {
+                    // Testing hook: a slow-but-healthy worker.
+                    // Heartbeats keep flowing through the stretch,
+                    // so a deadline-aware coordinator must NOT
+                    // forfeit this slice.
+                    const double elapsed =
+                        std::chrono::duration<double>(Clock::now() -
+                                                      t0)
+                            .count();
+                    const int extra_ms = static_cast<int>(std::min(
+                        10'000.0,
+                        (config.slowFactor - 1.0) * elapsed *
+                            1000.0));
+                    if (extra_ms > 0)
+                        std::this_thread::sleep_for(ms(extra_ms));
+                }
+                // ~HeartbeatSender joins here: no heartbeat can
+                // interleave with the Result below.
+            }
+            if (!ran) {
+                // A plan this binary cannot run (unknown
+                // experiment: version skew between coordinator and
+                // worker).  Close so the coordinator reassigns;
+                // retrying here could never succeed.
+                if (error)
+                    *error =
+                        "assignment names an unknown experiment "
+                        "(binary version skew?)";
+                return WorkerOutcome::BadAssignment;
+            }
+            const double sim_seconds =
+                std::chrono::duration<double>(Clock::now() - t0)
+                    .count();
+            ++local_stats.slicesRun;
+            local_stats.simSeconds += sim_seconds;
+
+            ResultMessage result;
+            result.sliceIndex = assign.sliceIndex;
+            result.hostCpus = config.hostCpus;
+            result.simSeconds = sim_seconds;
+            if (peer_delta)
+                cache.exportNewEntries(sent_keys, result.entries);
+            else
+                cache.exportToBytes(result.entries);
+            local_stats.sentBytes += result.entries.size();
+            local_stats.fullExportBytes += cache.exportByteSize();
+            ByteWriter w;
+            result.encode(w);
+            bool sent;
+            {
+                std::lock_guard<std::mutex> lock(send_mutex);
+                sent = sendFrame(sock, MessageType::Result,
+                                 w.view());
+            }
+            if (!sent) {
+                if (error)
+                    *error =
+                        "sending result failed (run finished or "
+                        "coordinator gone)";
+                return WorkerOutcome::ConnectionLost;
+            }
         }
+    };
+
+    bool first_connect = true;
+    for (;;) {
+        bool stopped = false;
+        Socket sock = connectWithBudget(
+            config, first_connect ? config.connectAttempts : 0,
+            first_connect ? config.connectBudgetMs
+                          : config.reconnectBudgetMs,
+            stopped, error);
+        if (stopped)
+            return finish(WorkerOutcome::Drained);
+        if (!sock.valid())
+            return finish(first_connect
+                              ? WorkerOutcome::ConnectFailed
+                              : WorkerOutcome::ConnectionLost);
+        if (!first_connect)
+            ++local_stats.reconnects;
+        first_connect = false;
+
+        const WorkerOutcome outcome = runSession(sock);
+        if (outcome != WorkerOutcome::ConnectionLost ||
+            config.reconnectBudgetMs <= 0)
+            return finish(outcome);
+        if (config.stopRequested && config.stopRequested())
+            return finish(WorkerOutcome::Drained);
+        // Reconnect across the outage: fresh connection, fresh
+        // Hello, fresh delta state (the coordinator may have
+        // restarted with an empty cache).
+        sent_keys.clear();
     }
-
-    return finish(WorkerOutcome::Finished);
 }
 
 } // namespace net

@@ -554,5 +554,247 @@ TEST(Distributed, ExportImportBytesRoundTripsEntries)
     EXPECT_FALSE(d.importFromBytes("not a shard stream"));
 }
 
+// ------------------------------------------------- protocol fuzz
+
+/** Deterministic xorshift64 stream for the fuzz suites. */
+struct FuzzRng
+{
+    std::uint64_t state;
+
+    explicit FuzzRng(std::uint64_t seed) : state(seed ? seed : 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+
+    std::uint32_t
+    below(std::uint32_t n)
+    {
+        return n ? static_cast<std::uint32_t>(next() % n) : 0;
+    }
+};
+
+TEST(NetFuzz, RandomByteBlobsAreRejectedOrClosed)
+{
+    FuzzRng rng(0x5eed0001);
+    for (int i = 0; i < 32; ++i) {
+        LoopbackPair pair = LoopbackPair::make();
+        std::string blob(rng.below(120), '\0');
+        for (char &c : blob)
+            c = static_cast<char>(rng.next());
+        if (!blob.empty()) {
+            ASSERT_TRUE(
+                pair.client.sendAll(blob.data(), blob.size()));
+        }
+        pair.client.close();
+        Frame out;
+        EXPECT_NE(net::recvFrame(pair.server, out, 2'000),
+                  RecvStatus::Ok)
+            << "seeded blob " << i;
+    }
+}
+
+TEST(NetFuzz, MutatedFramesNeverDeliverAlteredPayloads)
+{
+    // A corpus of one valid frame per conversation direction.
+    std::vector<std::pair<MessageType, std::string>> corpus;
+    {
+        net::HelloMessage hello;
+        hello.hostCpus = 8;
+        ByteWriter w;
+        hello.encode(w);
+        corpus.emplace_back(MessageType::Hello,
+                            std::string(w.view()));
+    }
+    {
+        net::HeartbeatMessage beat;
+        beat.sliceIndex = 1;
+        beat.sequence = 42;
+        ByteWriter w;
+        beat.encode(w);
+        corpus.emplace_back(MessageType::Heartbeat,
+                            std::string(w.view()));
+    }
+    {
+        ResultMessage result;
+        result.sliceIndex = 2;
+        result.entries = std::string(256, '\x5a');
+        ByteWriter w;
+        result.encode(w);
+        corpus.emplace_back(MessageType::Result,
+                            std::string(w.view()));
+    }
+    {
+        net::SubmitJobMessage submit;
+        submit.plan = samplePlan();
+        ByteWriter w;
+        submit.encode(w);
+        corpus.emplace_back(MessageType::SubmitJob,
+                            std::string(w.view()));
+    }
+
+    FuzzRng rng(0x5eed0002);
+    for (int i = 0; i < 96; ++i) {
+        const auto &[type, payload] = corpus[rng.below(
+            static_cast<std::uint32_t>(corpus.size()))];
+        std::string frame = net::encodeFrame(type, payload);
+        const bool truncate = rng.below(3) == 0;
+        if (truncate) {
+            frame.resize(rng.below(
+                static_cast<std::uint32_t>(frame.size())));
+        } else {
+            const unsigned flips = 1 + rng.below(3);
+            for (unsigned f = 0; f < flips; ++f) {
+                const std::uint32_t pos = rng.below(
+                    static_cast<std::uint32_t>(frame.size()));
+                frame[pos] = static_cast<char>(
+                    frame[pos] ^ (1u << rng.below(8)));
+            }
+        }
+
+        LoopbackPair pair = LoopbackPair::make();
+        if (!frame.empty()) {
+            ASSERT_TRUE(
+                pair.client.sendAll(frame.data(), frame.size()));
+        }
+        pair.client.close();
+        Frame out;
+        const RecvStatus status =
+            net::recvFrame(pair.server, out, 2'000);
+        if (truncate) {
+            // A strict prefix can never verify.
+            EXPECT_NE(status, RecvStatus::Ok) << "iteration " << i;
+        } else if (status == RecvStatus::Ok) {
+            // Bit flips may land in the checksum-exempt flags word;
+            // an accepted frame must still carry the exact payload.
+            EXPECT_EQ(out.type, type) << "iteration " << i;
+            EXPECT_EQ(out.payload, payload) << "iteration " << i;
+        }
+    }
+}
+
+TEST(NetFuzz, CoordinatorSurvivesFrameStormThenServesCleanly)
+{
+    const WorkloadSet workload;
+    const ShardPlan plan = samplePlan();
+    const std::string reference =
+        renderPlan(workload, plan, nullptr);
+
+    ResultCache collected;
+    CoordinatorConfig config;
+    Coordinator coordinator(collected, config); // resident
+    std::string error;
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::thread serve([&] { coordinator.run(); });
+
+    // The storm: seeded hostile connections throwing garbage
+    // blobs, corrupted frames and out-of-protocol first frames at
+    // the listener.  None may crash or wedge the service.
+    FuzzRng rng(0x5eed0003);
+    for (int i = 0; i < 24; ++i) {
+        Socket conn = Socket::connectTo("127.0.0.1",
+                                        coordinator.port(), &error);
+        ASSERT_TRUE(conn.valid()) << error;
+        switch (i % 4) {
+          case 0: { // raw noise
+            std::string blob(1 + rng.below(200), '\0');
+            for (char &c : blob)
+                c = static_cast<char>(rng.next());
+            conn.sendAll(blob.data(), blob.size());
+            break;
+          }
+          case 1: { // valid frame, flipped payload byte
+            net::JobStatusMessage status;
+            status.jobId = rng.below(100);
+            ByteWriter w;
+            status.encode(w);
+            std::string frame = net::encodeFrame(
+                MessageType::JobStatus, w.view());
+            frame[net::kFrameHeaderBytes +
+                  rng.below(static_cast<std::uint32_t>(
+                      frame.size() - net::kFrameHeaderBytes))] ^=
+                0x10;
+            conn.sendAll(frame.data(), frame.size());
+            break;
+          }
+          case 2: { // out-of-protocol first frame
+            net::HeartbeatMessage beat;
+            beat.sliceIndex = rng.below(8);
+            beat.sequence = rng.next();
+            ByteWriter w;
+            beat.encode(w);
+            net::sendFrame(conn, MessageType::Heartbeat, w.view());
+            break;
+          }
+          case 3: { // client op for a job that never existed
+            net::CancelJobMessage cancel;
+            cancel.jobId = 1000 + rng.below(1000);
+            ByteWriter w;
+            cancel.encode(w);
+            net::sendFrame(conn, MessageType::CancelJob, w.view());
+            break;
+          }
+        }
+        conn.close();
+    }
+
+    // After the storm, a clean worker + client conversation must
+    // complete bit-identically.
+    WorkerConfig wc;
+    wc.host = "127.0.0.1";
+    wc.port = coordinator.port();
+    ResultCache worker_cache;
+    WorkerOutcome outcome = WorkerOutcome::Aborted;
+    std::thread worker([&] {
+        std::string werr;
+        outcome = net::runWorker(wc, workload, worker_cache,
+                                 nullptr, &werr);
+    });
+
+    Socket client = Socket::connectTo("127.0.0.1",
+                                      coordinator.port(), &error);
+    ASSERT_TRUE(client.valid()) << error;
+    {
+        net::SubmitJobMessage submit;
+        submit.plan = plan;
+        ByteWriter w;
+        submit.encode(w);
+        ASSERT_TRUE(net::sendFrame(client, MessageType::SubmitJob,
+                                   w.view()));
+    }
+    ResultCache client_cache;
+    net::JobUpdateMessage update;
+    do {
+        Frame frame;
+        ASSERT_EQ(net::recvFrame(client, frame, 60'000),
+                  RecvStatus::Ok);
+        ASSERT_EQ(frame.type, MessageType::JobUpdate);
+        ByteReader r(frame.payload);
+        ASSERT_TRUE(update.decode(r));
+        ASSERT_NE(update.state, net::JobState::Rejected);
+        if (!update.entries.empty()) {
+            ASSERT_TRUE(
+                client_cache.importFromBytes(update.entries));
+        }
+    } while (!net::jobStateFinal(update.state));
+    EXPECT_EQ(update.state, net::JobState::Complete);
+    client.close();
+
+    coordinator.requestStop();
+    worker.join();
+    serve.join();
+    EXPECT_EQ(outcome, WorkerOutcome::Finished);
+
+    const std::string rendered =
+        renderPlan(workload, plan, &client_cache);
+    EXPECT_EQ(rendered, reference);
+    EXPECT_EQ(client_cache.stats().stores, 0u);
+}
+
 } // namespace
 } // namespace penelope
