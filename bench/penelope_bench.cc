@@ -47,6 +47,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -54,6 +55,8 @@
 #include <string>
 #include <vector>
 
+#include "adder/adder.hh"
+#include "circuit/netlist_opt.hh"
 #include "common/shutdown.hh"
 #include "common/threadpool.hh"
 #include "core/registry.hh"
@@ -85,6 +88,21 @@ usage(std::ostream &os, int exit_code)
           "               statistics are identical for any N)\n"
           "  --full       full workload (stride 1) at paper-scale "
           "uop counts\n"
+          "  --no-netlist-opt\n"
+          "               compile netlists with the 1:1 gate "
+          "translation instead of\n"
+          "               the optimizing compiler (CSE, constant "
+          "folding, INV fusion,\n"
+          "               cache-blocked scheduling); statistics "
+          "and stdout are\n"
+          "               byte-identical either way -- this only "
+          "trades speed\n"
+          "  --netlist-opt-stats\n"
+          "               print per-adder-topology op-count "
+          "accounting of the\n"
+          "               optimizing compiler and exit (CI parses "
+          "this for its\n"
+          "               reduction floor)\n"
           "  --cache-dir DIR\n"
           "               content-addressed result cache: "
           "per-trace results are looked\n"
@@ -441,6 +459,43 @@ listExperiments(std::ostream &os)
     }
 }
 
+/**
+ * The --netlist-opt-stats report: one parsable line per adder
+ * topology with the optimizing compiler's per-pass accounting.
+ * Honors --no-netlist-opt (reduction is then 0%), so the flag
+ * ordering on the command line does not matter.
+ */
+void
+printNetlistOptStats(std::ostream &os)
+{
+    LadnerFischerAdder lf(32);
+    RippleCarryAdder rc(32);
+    KoggeStoneAdder ks(32);
+    for (const Adder *adder :
+         {static_cast<const Adder *>(&lf),
+          static_cast<const Adder *>(&rc),
+          static_cast<const Adder *>(&ks)}) {
+        const Netlist &n = adder->netlist();
+        const NetlistOptStats &s = n.optStats();
+        char reduction[32];
+        std::snprintf(reduction, sizeof reduction, "%.1f",
+                      s.reductionPercent());
+        char dist[32];
+        std::snprintf(dist, sizeof dist, "%.1f",
+                      s.avgOperandDistance);
+        os << "netlist-opt " << adder->name()
+           << " gates=" << n.numGates()
+           << " ops-before=" << s.opsBaseline
+           << " ops-after=" << s.opsFinal
+           << " reduction=" << reduction << "%"
+           << " cse=" << s.cseReused
+           << " const-folded=" << s.constFolded
+           << " inv-fused=" << s.invFused
+           << " inv-materialized=" << s.invMaterialized
+           << " avg-operand-distance=" << dist << "\n";
+    }
+}
+
 } // namespace
 
 int
@@ -472,6 +527,7 @@ main(int argc, char **argv)
     bool shard_mode = false;
     bool merge_mode = false;
     bool cache_gc = false;
+    bool opt_stats_mode = false;
 
     bool serve_mode = false;
     std::uint16_t serve_port = 0;
@@ -532,6 +588,10 @@ main(int argc, char **argv)
             options.jobs = value == 0
                 ? defaultJobs()
                 : static_cast<unsigned>(value);
+        } else if (!std::strcmp(arg, "--no-netlist-opt")) {
+            setNetlistOptEnabled(false);
+        } else if (!std::strcmp(arg, "--netlist-opt-stats")) {
+            opt_stats_mode = true;
         } else if (!std::strcmp(arg, "--cache-dir")) {
             if (i + 1 >= argc) {
                 std::cerr << "penelope_bench: --cache-dir "
@@ -677,6 +737,13 @@ main(int argc, char **argv)
         } else {
             names.push_back(arg);
         }
+    }
+
+    if (opt_stats_mode) {
+        // After the parse loop so --no-netlist-opt applies in any
+        // argument order.
+        printNetlistOptStats(std::cout);
+        return 0;
     }
 
     if (full) {

@@ -88,13 +88,13 @@ BM_NetlistEvaluateBatchWide(benchmark::State &state)
     const unsigned net_w = static_cast<unsigned>(state.range(0));
     LadnerFischerAdder adder(32);
     Rng rng(1);
-    std::uint64_t a[256];
-    std::uint64_t b[256];
+    std::uint64_t a[512];
+    std::uint64_t b[512];
     for (unsigned i = 0; i < net_w * 64; ++i) {
         a[i] = rng() & 0xffffffff;
         b[i] = rng() & 0xffffffff;
     }
-    std::uint64_t cin_masks[4];
+    std::uint64_t cin_masks[8];
     for (unsigned w = 0; w < net_w; ++w)
         cin_masks[w] = rng();
     std::vector<std::uint64_t> words;
@@ -106,7 +106,39 @@ BM_NetlistEvaluateBatchWide(benchmark::State &state)
     benchmark::DoNotOptimize(acc);
     state.SetItemsProcessed(state.iterations() * net_w * 64);
 }
-BENCHMARK(BM_NetlistEvaluateBatchWide)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_NetlistEvaluateBatchWide)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+/** Optimized vs --no-netlist-opt throughput on the Kogge-Stone
+ *  adder, the INV-heaviest topology (arg: 1 = optimizing compiler,
+ *  0 = 1:1 gate translation).  items/s counts vectors; the CI perf
+ *  floor asserts optimized >= 1.2x unoptimized per vector. */
+void
+BM_KoggeStoneEvaluateBatch(benchmark::State &state)
+{
+    const ScopedNetlistOpt toggle(state.range(0) != 0);
+    KoggeStoneAdder adder(32);
+    Rng rng(1);
+    std::uint64_t a[64];
+    std::uint64_t b[64];
+    for (int i = 0; i < 64; ++i) {
+        a[i] = rng() & 0xffffffff;
+        b[i] = rng() & 0xffffffff;
+    }
+    const std::uint64_t cin_mask = rng();
+    std::vector<std::uint64_t> words;
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        adder.evaluateBatch(a, b, cin_mask, words);
+        acc += words.back();
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_KoggeStoneEvaluateBatch)->Arg(0)->Arg(1);
 
 /** Scalar aging observe: one evaluated vector, one pass over the
  *  per-net slots. */
@@ -152,9 +184,14 @@ BENCHMARK(BM_AgingObserveBatch);
 /** End-to-end batched aging of real operand samples (the Figure-5
  *  real-input path): transpose + netlist batch + popcount observe
  *  per 64 samples. */
+// Arg 1 = optimizing compiler on (the default build behaviour),
+// arg 0 = disabled.  Both variants live in one process so the
+// opt/no-opt ratio is a same-run comparison, which is the only kind
+// the shared reference host resolves reliably.
 void
 BM_AdderAgingPipeline(benchmark::State &state)
 {
+    const ScopedNetlistOpt toggle(state.range(0) != 0);
     WorkloadSet workload;
     TraceGenerator gen = workload.generator(0);
     const auto ops = collectAdderOperands(gen, 2048);
@@ -167,7 +204,10 @@ BM_AdderAgingPipeline(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * ops.size());
 }
-BENCHMARK(BM_AdderAgingPipeline)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AdderAgingPipeline)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(0)
+    ->Arg(1);
 
 void
 BM_TraceGeneration(benchmark::State &state)

@@ -143,7 +143,7 @@ Adder::evaluateBatchWide(const std::uint64_t *a,
                          unsigned net_w,
                          std::vector<std::uint64_t> &net_words) const
 {
-    assert(net_w == 1 || net_w == 2 || net_w == 4);
+    assert(net_w == 1 || net_w == 2 || net_w == 4 || net_w == 8);
     inputWords_.resize((2 * width_ + 1) * net_w);
 
     // Per word: transpose that word's 64 operand rows, then scatter
@@ -169,13 +169,15 @@ Adder::batchSums(const std::vector<std::uint64_t> &net_words,
                  std::uint64_t sums[64],
                  std::uint64_t *cout_mask) const
 {
+    // Sum/carry nets resolve through their NetRefs: the optimizing
+    // compiler may alias them to a complemented or shared word.
     for (unsigned i = 0; i < width_; ++i)
-        laneScratch_[i] = net_words[sum_[i]];
+        laneScratch_[i] = netlist_.laneWord(net_words.data(), sum_[i]);
     std::fill(laneScratch_ + width_, laneScratch_ + 64, 0);
     transpose64x64(laneScratch_);
     std::copy(laneScratch_, laneScratch_ + 64, sums);
     if (cout_mask)
-        *cout_mask = net_words[cout_];
+        *cout_mask = netlist_.laneWord(net_words.data(), cout_);
 }
 
 std::uint64_t

@@ -60,9 +60,10 @@ class Adder
      * @p b each hold 64 operand values (lane v uses a[v], b[v] and
      * bit v of @p cin_mask); pad unused lanes with zeros.  The
      * operands are bit-transposed into per-input lane words and run
-     * through Netlist::evaluateBatch; @p net_words receives one
-     * lane word per net, ready for PmosAgingTracker::observeBatch
-     * or batchSums().
+     * through Netlist::evaluateBatch; @p net_words receives the
+     * compiled stream's physical word array (resolve a net with
+     * Netlist::laneWord), ready for
+     * PmosAgingTracker::observeBatch or batchSums().
      */
     void evaluateBatch(const std::uint64_t a[64],
                        const std::uint64_t b[64],
@@ -78,7 +79,7 @@ class Adder
      * lane words per net, ready for
      * PmosAgingTracker::observeBatchWide.  Word w of every net is
      * bit-for-bit what evaluateBatch() over that word's operands
-     * would produce.  @p net_w must be 1, 2 or 4
+     * would produce.  @p net_w must be 1, 2, 4 or 8
      * (Netlist::preferredBatchWords() picks the fastest).
      */
     void evaluateBatchWide(const std::uint64_t *a,

@@ -138,19 +138,19 @@ std::vector<double>
 AdderAgingAnalysis::zeroProbsForOperands(
     const std::vector<OperandSample> &ops) const
 {
-    // Chunk by the host's preferred wide-batch width: one netlist
-    // op-stream pass covers net_w * 64 operand samples.  Padding
-    // lanes carry zero operands and are masked out of the
+    // Chunk by the cache-blocked wide-batch width for this netlist:
+    // one op-stream pass covers net_w * 64 operand samples.
+    // Padding lanes carry zero operands and are masked out of the
     // accounting, so the per-device counts -- hence the returned
     // probabilities -- are identical at every net_w.
-    const unsigned net_w = Netlist::preferredBatchWords();
+    const unsigned net_w = adder_.netlist().blockedBatchWords();
     const std::size_t chunk = std::size_t(64) * net_w;
     PmosAgingTracker tracker(adder_.netlist());
     std::vector<std::uint64_t> words;
-    std::uint64_t a[256];
-    std::uint64_t b[256];
-    std::uint64_t cin_masks[4];
-    std::uint64_t lane_masks[4];
+    std::uint64_t a[512];
+    std::uint64_t b[512];
+    std::uint64_t cin_masks[8];
+    std::uint64_t lane_masks[8];
     for (std::size_t begin = 0; begin < ops.size(); begin += chunk) {
         const std::size_t count =
             std::min<std::size_t>(chunk, ops.size() - begin);

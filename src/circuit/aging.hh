@@ -12,15 +12,23 @@
  * bit-sliced duty machinery in common/duty.hh): every observation
  * covers every device for the same dt, so per-device total time is
  * one shared scalar; and every device gated by the same net always
- * observes the same value, so zero-time is stored once per distinct
- * gate net, not once per device.  observeBatch() charges a whole
- * 64-vector lane word in one step -- the zero-time of a net is
- * popcount of its complemented lane word (masked to the valid
- * lanes) -- so a batch costs a couple of word ops per *net* instead
- * of 64 branchy updates per *device*.  Both paths add exactly the
- * same integers, so every probability (and everything downstream:
- * summaries, guardbands, experiment stdout) is bit-identical
- * between scalar and batched accounting.
+ * observes the same value, so zero-time is stored once per
+ * *equivalence class* of gate nets, not once per device.  Classes
+ * are the canonical NetRefs of the optimizing netlist compiler:
+ * nets that CSE/alias to the same (word, polarity) -- or to a
+ * constant -- provably always carry equal values, so one popcount
+ * serves them all.  Slots are partitioned by ref kind (plain,
+ * complemented, const-0, const-1) and sorted by word index inside
+ * each partition, so the batch observe loops are branch-free
+ * sequential sweeps over the lane-word array.  observeBatch()
+ * charges a whole 64-vector lane word in one step -- the zero-time
+ * of a class is popcount of its complemented lane word (masked to
+ * the valid lanes) -- so a batch costs a couple of word ops per
+ * *class* instead of 64 branchy updates per *device*.  All paths
+ * add exactly the same integers, so every probability (and
+ * everything downstream: summaries, guardbands, experiment stdout)
+ * is bit-identical between scalar and batched accounting, and
+ * between optimized and --no-netlist-opt compilation.
  */
 
 #ifndef PENELOPE_CIRCUIT_AGING_HH
@@ -146,13 +154,23 @@ class PmosAgingTracker
   private:
     const Netlist &netlist_;
 
-    /** Per device: index into the shared per-net slot arrays. */
+    /** Per device: index into the shared per-class slot arrays. */
     std::vector<std::uint32_t> deviceSlot_;
 
-    /** Per slot: the gate net whose lane word / scalar value feeds
-     *  it, and the accumulated zero-time. */
+    /** Per slot: a representative gate net (for the scalar path),
+     *  the physical lane word it reads (plain/complemented
+     *  partitions only), and the accumulated zero-time. */
     std::vector<SignalId> slotNet_;
+    std::vector<std::uint32_t> slotWord_;
     std::vector<std::uint64_t> slotZeroTime_;
+
+    /** Partition boundaries: slots [0, wordEnd_) read their word
+     *  directly, [wordEnd_, invEnd_) read its complement,
+     *  [invEnd_, const0End_) are constant-0 (always stressed), and
+     *  the rest constant-1 (never stressed). */
+    std::size_t wordEnd_ = 0;
+    std::size_t invEnd_ = 0;
+    std::size_t const0End_ = 0;
 
     /** Shared total observed time (identical for every device). */
     std::uint64_t totalTime_ = 0;

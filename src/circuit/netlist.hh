@@ -17,17 +17,22 @@
  * accounts for.
  *
  * Word-parallel evaluation: finalize() also compiles the gate list
- * into a flat, topologically-ordered op stream (one fixed-size
- * record per gate -- op kind, fanin slots, output slot -- with the
- * common arities specialised, so the evaluator is a single switch
- * over a contiguous array with no per-gate heap indirection and no
- * `vector<bool>` proxy objects).  evaluateBatch() runs that stream
- * over 64 input vectors at once: every net holds one `uint64_t`
- * lane word whose bit v is the net's value under input vector v,
- * and every INV/NAND/NOR/TgPass is a handful of bitwise word ops.
- * Lane words are exact: bit v of every net equals what a scalar
- * evaluate() of vector v would produce, which is what keeps the
- * batched aging statistics bit-identical to the scalar ones.
+ * into a flat op stream (one fixed-size record per surviving op --
+ * op kind, fanin word slots, output word slot -- with the common
+ * arities specialised, so the evaluator is a single switch over a
+ * contiguous array with no per-gate heap indirection and no
+ * `vector<bool>` proxy objects).  By default the stream is run
+ * through the optimizing compiler of netlist_opt.{hh,cc} (CSE,
+ * constant folding, INV fusion, cache-blocked scheduling), which
+ * shrinks it well below one op per gate; ops therefore address
+ * *physical lane words*, and a net's value is recovered through its
+ * NetRef (ref() / laneWord()).  evaluateBatch() runs the stream
+ * over 64 input vectors at once: every word holds one `uint64_t`
+ * whose bit v is the producing op's value under input vector v.
+ * Lane words are exact: bit v of every net's resolved word equals
+ * what a scalar evaluate() of vector v would produce, which is what
+ * keeps the batched aging statistics bit-identical to the scalar
+ * ones -- optimized or not.
  */
 
 #ifndef PENELOPE_CIRCUIT_NETLIST_HH
@@ -37,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "circuit/netlist_opt.hh"
 #include "nbti/guardband.hh"
 
 namespace penelope {
@@ -138,7 +144,10 @@ class Netlist
     /**
      * Evaluate the netlist.  @p input_values must supply one value
      * per primary input, in creation order.  @p signals is resized
-     * to numSignals() and receives every net's value.
+     * to numSignals() and receives every net's value.  (The scalar
+     * path interprets the gate list directly; it never goes through
+     * the compiled op stream, so it is also the oracle the batched
+     * paths are tested against.)
      */
     void evaluate(const std::vector<bool> &input_values,
                   std::vector<std::uint8_t> &signals) const;
@@ -147,12 +156,13 @@ class Netlist
      * Evaluate 64 input vectors at once (valid after finalize()).
      * @p input_words holds one lane word per primary input, in
      * creation order: bit v of word i is input i's value under
-     * vector v.  @p net_words is resized to numSignals(); bit v of
-     * net word s is exactly what evaluate() of vector v would leave
-     * in signals[s].  Unused lanes cost nothing extra and carry
-     * whatever the padded input bits imply (constant gates drive
-     * every lane); consumers mask them out (see
-     * PmosAgingTracker::observeBatch).
+     * vector v.  @p net_words is resized to wordCount() -- the
+     * physical word array of the compiled op stream, NOT one word
+     * per net.  Use laneWord() / ref() to read a net's lanes: bit v
+     * of net s's resolved word is exactly what evaluate() of vector
+     * v would leave in signals[s].  Unused lanes cost nothing extra
+     * and carry whatever the padded input bits imply; consumers
+     * mask them out (see PmosAgingTracker::observeBatch).
      */
     void evaluateBatch(const std::uint64_t *input_words,
                        std::vector<std::uint64_t> &net_words) const;
@@ -162,32 +172,47 @@ class Netlist
      * multi-word generalisation of evaluateBatch().  @p input_words
      * holds @p net_w lane words per primary input, interleaved
      * [input * net_w + w]; @p net_words is resized to
-     * numSignals() * net_w with the same interleaving.  Word w of
-     * every net is bit-for-bit what evaluateBatch() over the
-     * inputs' w-th words would produce: the wide engine (and the
-     * AVX2 kernel, when built in and supported by the host) only
-     * changes how many lanes one op-stream pass covers, never any
-     * lane's value.  @p net_w must be 1, 2 or 4.
+     * wordCount() * net_w with the same interleaving (use
+     * laneWordWide() to read a net).  Word w of every net is
+     * bit-for-bit what evaluateBatch() over the inputs' w-th words
+     * would produce: the wide engine (and the AVX2/AVX-512 kernels,
+     * when built in and supported by the host) only changes how
+     * many lanes one op-stream pass covers, never any lane's value.
+     * @p net_w must be 1, 2, 4 or 8.
      */
     void evaluateBatchWide(const std::uint64_t *input_words,
                            std::vector<std::uint64_t> &net_words,
                            unsigned net_w) const;
 
-    /** Preferred evaluateBatchWide word count on this host: 4
-     *  where the AVX2 kernel is compiled in and the CPU supports
-     *  it, else 2 (the portable wide loop still amortises the op
-     *  stream decode over more lanes than one word). */
+    /** Preferred evaluateBatchWide word count on this host: 8 where
+     *  the AVX-512 kernel is compiled in and the CPU supports it, 4
+     *  for AVX2, else 2 (the portable wide loop still amortises the
+     *  op stream decode over more lanes than one word). */
     static unsigned preferredBatchWords();
+
+    /** preferredBatchWords() clamped by cache blocking for THIS
+     *  netlist (valid after finalize()): W = 8 is taken only when
+     *  the pass's resident lane-word array fits the L1 budget,
+     *  otherwise the choice steps down to 4.  This is what the
+     *  batch feeders should use. */
+    unsigned blockedBatchWords() const;
 
     /** Whether the AVX2 kernel is compiled in and usable on this
      *  host (false in PENELOPE_ENABLE_AVX2=OFF builds). */
     static bool avx2Supported();
 
+    /** Whether the AVX-512 kernel is compiled in and usable on this
+     *  host (false in PENELOPE_ENABLE_AVX512=OFF builds). */
+    static bool avx512Supported();
+
     /**
      * Finalise the netlist: derive fanout counts, assign width
      * classes (gates with output fanout >= @p wide_fanout become
-     * wide) and extract the PMOS device list.  Must be called before
-     * pmosDevices(); further gate creation invalidates it.
+     * wide), extract the PMOS device list and compile the op
+     * stream.  Must be called before pmosDevices(); idempotent --
+     * a second call is a no-op (same fanout threshold or not), so
+     * wrappers can finalize defensively without double-extracting
+     * devices or recompiling the stream.
      */
     void finalize(unsigned wide_fanout = 4);
 
@@ -203,41 +228,72 @@ class Netlist
     /** Logic depth in primitive gates (valid after finalize()). */
     unsigned depth() const { return depth_; }
 
-  private:
-    /**
-     * One record of the compiled op stream.  The two-input forms of
-     * NAND/NOR (the overwhelming majority of the standard-cell
-     * decompositions) are specialised so the evaluator loop never
-     * touches the spill array for them; wider gates read their
-     * remaining fanins from extraFanins_[extra, extra + extraCount).
-     */
-    struct CompiledOp
+    /** @name Compiled-stream introspection (valid after finalize()) */
+    /// @{
+
+    /** Physical lane words per batch pass (= surviving ops). */
+    std::size_t wordCount() const { return wordCount_; }
+
+    /** Length of the compiled op stream. */
+    std::size_t numCompiledOps() const { return ops_.size(); }
+
+    /** Per-pass op accounting of the last compilation. */
+    const NetlistOptStats &optStats() const { return optStats_; }
+
+    /** How net @p s reads out of an evaluated word array. */
+    NetRef ref(SignalId s) const { return refs_[s]; }
+
+    /** Net @p s's lane word from an evaluateBatch() result. */
+    std::uint64_t laneWord(const std::uint64_t *net_words,
+                           SignalId s) const
     {
-        enum class Kind : std::uint8_t
-        {
-            Input,  ///< a = input ordinal
-            Const0,
-            Const1,
-            Inv,    ///< out = ~a
-            Nand2,  ///< out = ~(a & b)
-            Nor2,   ///< out = ~(a | b)
-            NandK,  ///< out = ~(a & b & extras...)
-            NorK,   ///< out = ~(a | b | extras...)
-            TgPass, ///< out = a ^ b
-        };
+        const NetRef r = refs_[s];
+        switch (r.kind) {
+          case NetRefKind::Word:
+            return net_words[r.word];
+          case NetRefKind::InvWord:
+            return ~net_words[r.word];
+          case NetRefKind::Const0:
+            return 0;
+          default:
+            return ~std::uint64_t(0);
+        }
+    }
 
-        Kind kind;
-        SignalId out;
-        SignalId a = 0;
-        SignalId b = 0;
-        std::uint32_t extra = 0;
-        std::uint32_t extraCount = 0;
-    };
+    /** Net @p s's w-th lane word from an evaluateBatchWide()
+     *  result computed at width @p net_w. */
+    std::uint64_t laneWordWide(const std::uint64_t *net_words,
+                               unsigned net_w, unsigned w,
+                               SignalId s) const
+    {
+        const NetRef r = refs_[s];
+        const std::size_t at = std::size_t(r.word) * net_w + w;
+        switch (r.kind) {
+          case NetRefKind::Word:
+            return net_words[at];
+          case NetRefKind::InvWord:
+            return ~net_words[at];
+          case NetRefKind::Const0:
+            return 0;
+          default:
+            return ~std::uint64_t(0);
+        }
+    }
+    /// @}
 
+  private:
     SignalId newSignal(std::uint32_t producer_gate);
 
-    /** Build ops_/extraFanins_ from gates_ (part of finalize()). */
+    /** Build ops_/extraFanins_/refs_ from gates_ (netlist_opt.cc):
+     *  the optimizing pipeline, or the 1:1 translation when the
+     *  process-wide toggle is off. */
     void compile();
+
+    /** 1:1 gate-to-op translation (netlist_opt.cc). */
+    void compileDirect();
+
+    /** The optimizing pipeline (netlist_opt.cc). */
+    void compileOptimized();
 
     /** Portable W-word op-stream pass (W lane words per net). */
     template <unsigned W>
@@ -249,9 +305,16 @@ class Netlist
     void evaluateBatchAvx2(const std::uint64_t *input_words,
                            std::uint64_t *net_words) const;
 
+    /** AVX-512 8-word pass (netlist_simd.cc; falls back to the
+     *  portable loop when the kernel is not compiled in). */
+    void evaluateBatchAvx512(const std::uint64_t *input_words,
+                             std::uint64_t *net_words) const;
+
     std::vector<Gate> gates_;
     std::vector<CompiledOp> ops_;
-    std::vector<SignalId> extraFanins_;
+    std::vector<std::uint32_t> extraFanins_;
+    /** Per-net readout of the physical word array. */
+    std::vector<NetRef> refs_;
     /** Producing gate index for each signal. */
     std::vector<std::uint32_t> producers_;
     std::vector<SignalId> inputs_;
@@ -259,6 +322,8 @@ class Netlist
     std::vector<unsigned> fanout_;
     std::vector<PmosDevice> pmos_;
     std::vector<std::uint32_t> forcedWide_;
+    std::uint32_t wordCount_ = 0;
+    NetlistOptStats optStats_;
     unsigned depth_ = 0;
     bool finalized_ = false;
 };

@@ -146,11 +146,13 @@ checkBatchMatchesScalar(const Netlist &n, Rng &rng,
             input_words[i] = w;
         }
         n.evaluateBatch(input_words.data(), words);
-        ASSERT_EQ(words.size(), n.numSignals());
+        ASSERT_EQ(words.size(), n.wordCount());
         for (std::size_t l = 0; l < count; ++l) {
             n.evaluate(inputs[begin + l], scalar);
             for (std::size_t s = 0; s < n.numSignals(); ++s) {
-                ASSERT_EQ((words[s] >> l) & 1, scalar[s])
+                const std::uint64_t lane =
+                    n.laneWord(words.data(), s);
+                ASSERT_EQ((lane >> l) & 1, scalar[s])
                     << "vector " << begin + l << " net " << s;
             }
         }
@@ -417,26 +419,28 @@ TEST(NetlistWide, RandomNetlistsMatchSingleWord)
         const unsigned num_gates = 1 + rng.nextInt(60);
         Netlist n = randomNetlist(rng, num_inputs, num_gates);
 
-        std::vector<std::uint64_t> in_flat(n.numInputs() * 4);
+        std::vector<std::uint64_t> in_flat(n.numInputs() * 8);
         for (auto &w : in_flat)
             w = rng();
 
         std::vector<std::uint64_t> ref;
         std::vector<std::uint64_t> single(n.numInputs());
-        for (unsigned net_w : {1u, 2u, 4u}) {
+        for (unsigned net_w : {1u, 2u, 4u, 8u}) {
             std::vector<std::uint64_t> in(n.numInputs() * net_w);
             for (std::size_t i = 0; i < n.numInputs(); ++i)
                 for (unsigned w = 0; w < net_w; ++w)
-                    in[i * net_w + w] = in_flat[i * 4 + w];
+                    in[i * net_w + w] = in_flat[i * 8 + w];
             std::vector<std::uint64_t> wide;
             n.evaluateBatchWide(in.data(), wide, net_w);
-            ASSERT_EQ(wide.size(), n.numSignals() * net_w);
+            ASSERT_EQ(wide.size(), n.wordCount() * net_w);
             for (unsigned w = 0; w < net_w; ++w) {
                 for (std::size_t i = 0; i < n.numInputs(); ++i)
-                    single[i] = in_flat[i * 4 + w];
+                    single[i] = in_flat[i * 8 + w];
                 n.evaluateBatch(single.data(), ref);
                 for (std::size_t s = 0; s < n.numSignals(); ++s) {
-                    ASSERT_EQ(wide[s * net_w + w], ref[s])
+                    ASSERT_EQ(
+                        n.laneWordWide(wide.data(), net_w, w, s),
+                        n.laneWord(ref.data(), s))
                         << "W " << net_w << " word " << w
                         << " net " << s;
                 }
@@ -449,27 +453,28 @@ TEST(AdderWide, MatchesEvaluateBatchPerWord)
 {
     LadnerFischerAdder adder(32);
     Rng rng(0xadd3);
-    std::uint64_t a[256];
-    std::uint64_t b[256];
-    std::uint64_t cin_masks[4];
-    for (unsigned i = 0; i < 256; ++i) {
+    std::uint64_t a[512];
+    std::uint64_t b[512];
+    std::uint64_t cin_masks[8];
+    for (unsigned i = 0; i < 512; ++i) {
         a[i] = rng() & 0xffffffff;
         b[i] = rng() & 0xffffffff;
     }
-    for (unsigned w = 0; w < 4; ++w)
+    for (unsigned w = 0; w < 8; ++w)
         cin_masks[w] = rng();
 
+    const Netlist &n = adder.netlist();
     std::vector<std::uint64_t> ref;
-    for (unsigned net_w : {1u, 2u, 4u}) {
+    for (unsigned net_w : {1u, 2u, 4u, 8u}) {
         std::vector<std::uint64_t> wide;
         adder.evaluateBatchWide(a, b, cin_masks, net_w, wide);
-        const std::size_t nets = adder.netlist().numSignals();
-        ASSERT_EQ(wide.size(), nets * net_w);
+        ASSERT_EQ(wide.size(), n.wordCount() * net_w);
         for (unsigned w = 0; w < net_w; ++w) {
             adder.evaluateBatch(a + w * 64, b + w * 64,
                                 cin_masks[w], ref);
-            for (std::size_t s = 0; s < nets; ++s) {
-                ASSERT_EQ(wide[s * net_w + w], ref[s])
+            for (std::size_t s = 0; s < n.numSignals(); ++s) {
+                ASSERT_EQ(n.laneWordWide(wide.data(), net_w, w, s),
+                          n.laneWord(ref.data(), s))
                     << "W " << net_w << " word " << w << " net "
                     << s;
             }
@@ -483,17 +488,18 @@ TEST(AgingWide, ObserveBatchWideIdentity)
     // calls, including partial (masked) words.
     Rng rng(0x0b5e);
     Netlist n = randomNetlist(rng, 8, 40);
-    std::uint64_t in[8 * 4];
+    std::uint64_t in[8 * 8];
     for (auto &w : in)
         w = rng();
-    const std::uint64_t lane_masks[4] = {~std::uint64_t(0), 0x3ff,
-                                         0, 0xffff0000ffff0000ull};
+    const std::uint64_t lane_masks[8] = {
+        ~std::uint64_t(0), 0x3ff, 0, 0xffff0000ffff0000ull,
+        0x1, ~std::uint64_t(0), 0xf0f0, 0};
 
-    for (unsigned net_w : {2u, 4u}) {
+    for (unsigned net_w : {2u, 4u, 8u}) {
         std::vector<std::uint64_t> interleaved(8 * net_w);
         for (std::size_t i = 0; i < 8; ++i)
             for (unsigned w = 0; w < net_w; ++w)
-                interleaved[i * net_w + w] = in[i * 4 + w];
+                interleaved[i * net_w + w] = in[i * 8 + w];
         std::vector<std::uint64_t> wide;
         n.evaluateBatchWide(interleaved.data(), wide, net_w);
         PmosAgingTracker wide_tracker(n);
@@ -505,7 +511,7 @@ TEST(AgingWide, ObserveBatchWideIdentity)
         std::vector<std::uint64_t> words;
         for (unsigned w = 0; w < net_w; ++w) {
             for (std::size_t i = 0; i < 8; ++i)
-                single[i] = in[i * 4 + w];
+                single[i] = in[i * 8 + w];
             n.evaluateBatch(single.data(), words);
             ref_tracker.observeBatch(words.data(), lane_masks[w],
                                      3);
@@ -521,8 +527,12 @@ TEST(AgingWide, ObserveBatchWideIdentity)
 TEST(NetlistWide, PreferredBatchWordsIsSupported)
 {
     const unsigned net_w = Netlist::preferredBatchWords();
-    EXPECT_TRUE(net_w == 2 || net_w == 4);
-    if (!Netlist::avx2Supported()) {
+    EXPECT_TRUE(net_w == 2 || net_w == 4 || net_w == 8);
+    if (Netlist::avx512Supported()) {
+        EXPECT_EQ(net_w, 8u);
+    } else if (Netlist::avx2Supported()) {
+        EXPECT_EQ(net_w, 4u);
+    } else {
         EXPECT_EQ(net_w, 2u);
     }
 }
