@@ -46,6 +46,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +63,7 @@
 #include "core/registry.hh"
 #include "core/resultcache.hh"
 #include "core/shardplan.hh"
+#include "core/surrogate_sweep.hh"
 #include "net/coordinator.hh"
 #include "net/faultinject.hh"
 #include "net/worker.hh"
@@ -103,6 +105,30 @@ usage(std::ostream &os, int exit_code)
           "               optimizing compiler and exit (CI parses "
           "this for its\n"
           "               reduction floor)\n"
+          "  --no-surrogate\n"
+          "               disable surrogate triage: candidate "
+          "sweeps price every\n"
+          "               candidate with the exact engine.  "
+          "Printed statistics come\n"
+          "               from the exact engine in every mode; "
+          "triage only decides\n"
+          "               what to evaluate\n"
+          "  --surrogate-audit F\n"
+          "               seeded audit fraction of pruned "
+          "candidates to exact-\n"
+          "               evaluate anyway (default 0.03; 1.0 = "
+          "full audit, which\n"
+          "               bypasses the surrogate and is "
+          "byte-identical to\n"
+          "               --no-surrogate)\n"
+          "  --surrogate-stats\n"
+          "               print the fitted surrogate's "
+          "coefficients, errors, triage\n"
+          "               accounting, per-candidate costs and a "
+          "same-run exhaustive\n"
+          "               vs pruned sweep, then exit (cache-free; "
+          "CI parses the\n"
+          "               speedup floors)\n"
           "  --cache-dir DIR\n"
           "               content-addressed result cache: "
           "per-trace results are looked\n"
@@ -450,10 +476,15 @@ void
 listExperiments(std::ostream &os)
 {
     os << "registered experiments:\n";
-    for (const Experiment &e :
-         ExperimentRegistry::instance().experiments()) {
+    const auto &experiments =
+        ExperimentRegistry::instance().experiments();
+    std::size_t name_width = 0;
+    for (const Experiment &e : experiments)
+        name_width = std::max(name_width, e.name.size());
+    for (const Experiment &e : experiments) {
         os << "  " << e.name;
-        for (std::size_t pad = e.name.size(); pad < 10; ++pad)
+        for (std::size_t pad = e.name.size(); pad <= name_width;
+             ++pad)
             os << ' ';
         os << e.title << " - " << e.description << "\n";
     }
@@ -496,6 +527,173 @@ printNetlistOptStats(std::ostream &os)
     }
 }
 
+/**
+ * The --surrogate-stats report: parsable one-line records of the
+ * fitted duty -> degradation surrogate.  Everything runs
+ * cache-free so the same-run exhaustive-vs-pruned sweep pays its
+ * true simulation cost on both arms (CI parses the speedup floors
+ * and the argmax-coverage flag from these lines).  Honors
+ * --surrogate-audit and --jobs; coefficients are printed in full
+ * -- no silent caps anywhere in the surrogate path.
+ */
+void
+printSurrogateStats(std::ostream &os,
+                    const ExperimentOptions &options)
+{
+    using clock = std::chrono::steady_clock;
+    const auto ms = [](clock::duration d) {
+        return std::chrono::duration<double, std::milli>(d)
+            .count();
+    };
+    char buf[64];
+    const auto num = [&buf](const char *fmt, double v) {
+        std::snprintf(buf, sizeof buf, fmt, v);
+        return std::string(buf);
+    };
+
+    const Engine engine(options.jobs);
+    LadnerFischerAdder adder(32);
+    const GuardbandModel model = GuardbandModel::paperCalibrated();
+    AdderAgingAnalysis analysis(adder, model);
+    const std::size_t exact_samples =
+        options.attackSearchExactSamples;
+
+    // Fit (timed): the training replays an attack-search run
+    // amortises over every generation.
+    TriageStats stats;
+    SurrogateFitConfig fit_config;
+    fit_config.seed = mixSeed(options.surrogateSeed, 0xf17);
+    const auto t_fit0 = clock::now();
+    const SurrogateFit fit = trainAttackSurrogate(
+        analysis, options.surrogateTrainCandidates, fit_config,
+        exact_samples, engine, nullptr, stats);
+    const auto t_fit1 = clock::now();
+
+    os << "surrogate-fit adder=" << adder.name()
+       << " features=" << fit.featureCount()
+       << " train=" << fit.trainCount
+       << " holdout=" << fit.holdoutCount
+       << " train-rmse=" << num("%.6f", fit.trainRmse)
+       << " holdout-rmse=" << num("%.6f", fit.holdoutRmse)
+       << " fit-ms=" << num("%.2f", ms(t_fit1 - t_fit0)) << "\n";
+    os << "surrogate-coeffs";
+    for (std::size_t c = 0; c < fit.coeffs.size(); ++c)
+        os << " c" << c << "=" << num("%.6g", fit.coeffs[c]);
+    os << "\n";
+
+    // Per-candidate costs: the exact replay vs the cheap tier
+    // (feature extraction + closed-form predict).
+    Rng probe_rng(mixSeed(options.surrogateSeed, 0xbe9c4));
+    const AttackConfig probe = randomAttackCandidate(probe_rng);
+    const std::vector<double> probe_features =
+        candidateFeatures(probe, adder.width());
+
+    constexpr unsigned kExactReps = 16;
+    const auto t_exact0 = clock::now();
+    double exact_sink = 0.0;
+    for (unsigned r = 0; r < kExactReps; ++r) {
+        exact_sink += evaluateCandidateExact(analysis, probe,
+                                             exact_samples)
+                          .score;
+    }
+    const auto t_exact1 = clock::now();
+
+    constexpr unsigned kFeatureReps = 256;
+    const auto t_feat0 = clock::now();
+    double feature_sink = 0.0;
+    for (unsigned r = 0; r < kFeatureReps; ++r)
+        feature_sink +=
+            candidateFeatures(probe, adder.width()).front();
+    const auto t_feat1 = clock::now();
+
+    constexpr unsigned kPredictReps = 1 << 18;
+    const auto t_pred0 = clock::now();
+    double predict_sink = 0.0;
+    for (unsigned r = 0; r < kPredictReps; ++r)
+        predict_sink += fit.predict(probe_features);
+    const auto t_pred1 = clock::now();
+
+    const double exact_ns =
+        ms(t_exact1 - t_exact0) * 1e6 / kExactReps;
+    const double feature_ns =
+        ms(t_feat1 - t_feat0) * 1e6 / kFeatureReps;
+    const double predict_ns =
+        ms(t_pred1 - t_pred0) * 1e6 / kPredictReps;
+    os << "surrogate-cost exact-ns=" << num("%.0f", exact_ns)
+       << " feature-ns=" << num("%.0f", feature_ns)
+       << " predict-ns=" << num("%.1f", predict_ns)
+       << " predict-speedup=" << num("%.1f", exact_ns / predict_ns)
+       << " cheap-tier-speedup="
+       << num("%.1f", exact_ns / (feature_ns + predict_ns))
+       << " sink=" << num("%.3g", exact_sink + feature_sink +
+                                      predict_sink)
+       << "\n";
+
+    // Same-run sweep: one candidate pool, exhaustive then pruned,
+    // no cache on either arm.
+    constexpr std::size_t kSweepPool = 1024;
+    std::vector<AttackConfig> pool;
+    pool.reserve(kSweepPool);
+    for (std::size_t i = 0; i < kSweepPool; ++i) {
+        Rng rng(mixSeed(options.surrogateSeed,
+                        0x9001'0000ULL + i));
+        pool.push_back(randomAttackCandidate(rng));
+    }
+
+    CandidateSweepConfig exhaustive_config;
+    exhaustive_config.triage = false;
+    exhaustive_config.exactSamples = exact_samples;
+
+    CandidateSweepConfig pruned_config = exhaustive_config;
+    pruned_config.triage = true;
+    pruned_config.triageConfig.topK = options.surrogateTopK;
+    pruned_config.triageConfig.auditFraction =
+        options.surrogateAuditFraction;
+    pruned_config.triageConfig.auditSeed =
+        mixSeed(options.surrogateSeed, 0xa0d17);
+
+    const auto t_ex0 = clock::now();
+    const CandidateSweepResult exhaustive = sweepAttackCandidates(
+        analysis, pool, nullptr, exhaustive_config, engine,
+        nullptr);
+    const auto t_ex1 = clock::now();
+
+    const auto t_pr0 = clock::now();
+    const CandidateSweepResult pruned = sweepAttackCandidates(
+        analysis, pool, &fit, pruned_config, engine, nullptr);
+    const auto t_pr1 = clock::now();
+    stats.merge(pruned.stats);
+
+    const bool covered =
+        std::find(pruned.evaluated.begin(), pruned.evaluated.end(),
+                  exhaustive.bestIndex) != pruned.evaluated.end();
+    const double exhaustive_ms = ms(t_ex1 - t_ex0);
+    const double pruned_ms = ms(t_pr1 - t_pr0);
+    const double pruned_with_fit_ms =
+        pruned_ms + ms(t_fit1 - t_fit0);
+    os << "surrogate-sweep pool=" << kSweepPool
+       << " exhaustive-evals=" << exhaustive.evaluated.size()
+       << " pruned-evals=" << pruned.evaluated.size()
+       << " exhaustive-ms=" << num("%.2f", exhaustive_ms)
+       << " pruned-ms=" << num("%.2f", pruned_ms)
+       << " pruned-with-fit-ms="
+       << num("%.2f", pruned_with_fit_ms)
+       << " speedup=" << num("%.2f", exhaustive_ms / pruned_ms)
+       << " speedup-with-fit="
+       << num("%.2f", exhaustive_ms / pruned_with_fit_ms)
+       << " argmax-covered=" << (covered ? "yes" : "no")
+       << " best-score-match="
+       << (pruned.best.score == exhaustive.best.score ? "yes"
+                                                      : "no")
+       << "\n";
+
+    os << "surrogate-triage scored=" << stats.candidatesScored
+       << " pruned=" << stats.pruned
+       << " exact=" << stats.exactEvaluated
+       << " audited=" << stats.audited
+       << " train=" << stats.trainEvaluated << "\n";
+}
+
 } // namespace
 
 int
@@ -528,6 +726,7 @@ main(int argc, char **argv)
     bool merge_mode = false;
     bool cache_gc = false;
     bool opt_stats_mode = false;
+    bool surrogate_stats_mode = false;
 
     bool serve_mode = false;
     std::uint16_t serve_port = 0;
@@ -592,6 +791,16 @@ main(int argc, char **argv)
             setNetlistOptEnabled(false);
         } else if (!std::strcmp(arg, "--netlist-opt-stats")) {
             opt_stats_mode = true;
+        } else if (!std::strcmp(arg, "--no-surrogate")) {
+            options.surrogateEnabled = false;
+        } else if (!std::strcmp(arg, "--surrogate-audit")) {
+            if (!parseFactor("--surrogate-audit",
+                             i + 1 < argc ? argv[++i] : nullptr,
+                             0.0, 1.0,
+                             options.surrogateAuditFraction))
+                return 2;
+        } else if (!std::strcmp(arg, "--surrogate-stats")) {
+            surrogate_stats_mode = true;
         } else if (!std::strcmp(arg, "--cache-dir")) {
             if (i + 1 >= argc) {
                 std::cerr << "penelope_bench: --cache-dir "
@@ -743,6 +952,13 @@ main(int argc, char **argv)
         // After the parse loop so --no-netlist-opt applies in any
         // argument order.
         printNetlistOptStats(std::cout);
+        return 0;
+    }
+
+    if (surrogate_stats_mode) {
+        // After the parse loop so --jobs/--surrogate-audit apply
+        // in any argument order.
+        printSurrogateStats(std::cout, options);
         return 0;
     }
 

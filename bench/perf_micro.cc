@@ -23,6 +23,7 @@
 #include "core/experiments.hh"
 #include "core/resultcache.hh"
 #include "core/serialize.hh"
+#include "core/surrogate_sweep.hh"
 #include "nbti/rd_model.hh"
 #include "regfile/driver.hh"
 #include "scheduler/driver.hh"
@@ -208,6 +209,90 @@ BENCHMARK(BM_AdderAgingPipeline)
     ->Unit(benchmark::kMicrosecond)
     ->Arg(0)
     ->Arg(1);
+
+// ---------------------------------------------- surrogate triage
+
+/** One exact candidate evaluation: the unit the surrogate's triage
+ *  avoids.  Compare with BM_SurrogateFeatures + BM_SurrogatePredict
+ *  for the cheap-tier cost ratio (the CI Release floor asserts the
+ *  predict step alone is >= 100x cheaper same-run). */
+void
+BM_AttackCandidateExact(benchmark::State &state)
+{
+    LadnerFischerAdder adder(32);
+    AdderAgingAnalysis analysis(adder,
+                                GuardbandModel::paperCalibrated());
+    Rng rng(mixSeed(0x5a11'7e57'0b5eULL, 0xbe9c4));
+    const AttackConfig attack = randomAttackCandidate(rng);
+    for (auto _ : state) {
+        const CandidateEval eval =
+            evaluateCandidateExact(analysis, attack, 2048);
+        benchmark::DoNotOptimize(eval.score);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttackCandidateExact)->Unit(benchmark::kMicrosecond);
+
+/** Feature extraction for one candidate: generate the 64-sample
+ *  stream prefix and reduce it to per-input-bit zero duties. */
+void
+BM_SurrogateFeatures(benchmark::State &state)
+{
+    Rng rng(mixSeed(0x5a11'7e57'0b5eULL, 0xbe9c4));
+    const AttackConfig attack = randomAttackCandidate(rng);
+    for (auto _ : state) {
+        const auto features = candidateFeatures(attack, 32);
+        benchmark::DoNotOptimize(features.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SurrogateFeatures);
+
+/** The closed-form predictor on a pre-extracted feature vector. */
+void
+BM_SurrogatePredict(benchmark::State &state)
+{
+    const Engine engine(1);
+    LadnerFischerAdder adder(32);
+    AdderAgingAnalysis analysis(adder,
+                                GuardbandModel::paperCalibrated());
+    TriageStats stats;
+    SurrogateFitConfig config;
+    const SurrogateFit fit = trainAttackSurrogate(
+        analysis, 32, config, 256, engine, nullptr, stats);
+    Rng rng(mixSeed(0x5a11'7e57'0b5eULL, 0xbe9c4));
+    const auto features =
+        candidateFeatures(randomAttackCandidate(rng), 32);
+    double sink = 0.0;
+    for (auto _ : state)
+        sink += fit.predict(features);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SurrogatePredict);
+
+/** Surrogate fitting itself (ridge normal equations over the
+ *  training pool's feature/score pairs), excluding the exact
+ *  evaluations that price the pool. */
+void
+BM_SurrogateFitSolve(benchmark::State &state)
+{
+    std::vector<SurrogateSample> samples(96);
+    Rng rng(0x5eed);
+    for (auto &s : samples) {
+        s.features.resize(65);
+        for (auto &f : s.features)
+            f = rng.nextDouble();
+        s.score = rng.nextDouble() * 0.05;
+    }
+    const SurrogateFitConfig config;
+    for (auto _ : state) {
+        const SurrogateFit fit = fitSurrogate(samples, config);
+        benchmark::DoNotOptimize(fit.coeffs.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SurrogateFitSolve)->Unit(benchmark::kMicrosecond);
 
 void
 BM_TraceGeneration(benchmark::State &state)

@@ -119,21 +119,24 @@ Adder::evaluateBatch(const std::uint64_t a[64],
                      std::uint64_t cin_mask,
                      std::vector<std::uint64_t> &net_words) const
 {
-    inputWords_.resize(2 * width_ + 1);
+    // Per-thread scratch: a const Adder is shared across the
+    // engine's worker threads (transpose64x64 is destructive, so
+    // operands are copied into the block first).
+    thread_local std::vector<std::uint64_t> input_words;
+    std::uint64_t block[64];
+    input_words.resize(2 * width_ + 1);
 
     // Lane packing: transpose the 64 operand rows so word i holds
     // bit i of every operand (lane word of primary input a_i / b_i).
-    std::copy(a, a + 64, laneScratch_);
-    transpose64x64(laneScratch_);
-    std::copy(laneScratch_, laneScratch_ + width_,
-              inputWords_.begin());
-    std::copy(b, b + 64, laneScratch_);
-    transpose64x64(laneScratch_);
-    std::copy(laneScratch_, laneScratch_ + width_,
-              inputWords_.begin() + width_);
-    inputWords_[2 * width_] = cin_mask;
+    std::copy(a, a + 64, block);
+    transpose64x64(block);
+    std::copy(block, block + width_, input_words.begin());
+    std::copy(b, b + 64, block);
+    transpose64x64(block);
+    std::copy(block, block + width_, input_words.begin() + width_);
+    input_words[2 * width_] = cin_mask;
 
-    netlist_.evaluateBatch(inputWords_.data(), net_words);
+    netlist_.evaluateBatch(input_words.data(), net_words);
 }
 
 void
@@ -144,24 +147,26 @@ Adder::evaluateBatchWide(const std::uint64_t *a,
                          std::vector<std::uint64_t> &net_words) const
 {
     assert(net_w == 1 || net_w == 2 || net_w == 4 || net_w == 8);
-    inputWords_.resize((2 * width_ + 1) * net_w);
+    thread_local std::vector<std::uint64_t> input_words;
+    std::uint64_t block[64];
+    input_words.resize((2 * width_ + 1) * net_w);
 
     // Per word: transpose that word's 64 operand rows, then scatter
     // into the interleaved [input * net_w + w] layout the wide
     // engine consumes.
     for (unsigned w = 0; w < net_w; ++w) {
-        std::copy(a + w * 64, a + w * 64 + 64, laneScratch_);
-        transpose64x64(laneScratch_);
+        std::copy(a + w * 64, a + w * 64 + 64, block);
+        transpose64x64(block);
         for (unsigned i = 0; i < width_; ++i)
-            inputWords_[i * net_w + w] = laneScratch_[i];
-        std::copy(b + w * 64, b + w * 64 + 64, laneScratch_);
-        transpose64x64(laneScratch_);
+            input_words[i * net_w + w] = block[i];
+        std::copy(b + w * 64, b + w * 64 + 64, block);
+        transpose64x64(block);
         for (unsigned i = 0; i < width_; ++i)
-            inputWords_[(width_ + i) * net_w + w] = laneScratch_[i];
-        inputWords_[2 * width_ * net_w + w] = cin_masks[w];
+            input_words[(width_ + i) * net_w + w] = block[i];
+        input_words[2 * width_ * net_w + w] = cin_masks[w];
     }
 
-    netlist_.evaluateBatchWide(inputWords_.data(), net_words, net_w);
+    netlist_.evaluateBatchWide(input_words.data(), net_words, net_w);
 }
 
 void
@@ -171,11 +176,12 @@ Adder::batchSums(const std::vector<std::uint64_t> &net_words,
 {
     // Sum/carry nets resolve through their NetRefs: the optimizing
     // compiler may alias them to a complemented or shared word.
+    std::uint64_t block[64];
     for (unsigned i = 0; i < width_; ++i)
-        laneScratch_[i] = netlist_.laneWord(net_words.data(), sum_[i]);
-    std::fill(laneScratch_ + width_, laneScratch_ + 64, 0);
-    transpose64x64(laneScratch_);
-    std::copy(laneScratch_, laneScratch_ + 64, sums);
+        block[i] = netlist_.laneWord(net_words.data(), sum_[i]);
+    std::fill(block + width_, block + 64, 0);
+    transpose64x64(block);
+    std::copy(block, block + 64, sums);
     if (cout_mask)
         *cout_mask = netlist_.laneWord(net_words.data(), cout_);
 }
@@ -185,13 +191,14 @@ Adder::evaluate(std::uint64_t a, std::uint64_t b, bool cin,
                 bool *cout) const
 {
     const auto in = makeInputVector(a, b, cin);
-    netlist_.evaluate(in, scratch_);
+    thread_local std::vector<std::uint8_t> values;
+    netlist_.evaluate(in, values);
     std::uint64_t sum = 0;
     for (unsigned i = 0; i < width_; ++i)
-        if (scratch_[sum_[i]])
+        if (values[sum_[i]])
             sum |= std::uint64_t(1) << i;
     if (cout)
-        *cout = scratch_[cout_] != 0;
+        *cout = values[cout_] != 0;
     return sum;
 }
 

@@ -113,13 +113,11 @@ class Adder
     SignalId cin_ = invalidSignal;
     std::vector<SignalId> sum_;
     SignalId cout_ = invalidSignal;
-    mutable std::vector<std::uint8_t> scratch_;
 
-    /** Batch scratch: transpose blocks and assembled input lane
-     *  words (transpose64x64 is destructive, so operands are copied
-     *  here first). */
-    mutable std::uint64_t laneScratch_[64];
-    mutable std::vector<std::uint64_t> inputWords_;
+    // Evaluation scratch lives in thread_local buffers inside the
+    // eval methods (not here): a const Adder shared across the
+    // engine's worker threads must evaluate concurrently without
+    // racing on scratch state.
 };
 
 /** 32-bit (or any width) Ladner-Fischer parallel-prefix adder. */

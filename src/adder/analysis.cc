@@ -3,51 +3,56 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/bitword.hh"
+#include "common/duty.hh"
+
 namespace penelope {
 
 std::vector<OperandSample>
 collectAdderOperands(TraceGenerator &gen, std::size_t count)
 {
-    std::vector<OperandSample> out;
-    out.reserve(count);
-    // Bounded scan: some suites are branch/FP heavy, so cap the
-    // number of uops inspected to avoid unbounded loops.
-    const std::size_t max_uops = count * 16 + 1024;
-    Rng rng(0xadde7);
-    for (std::size_t scanned = 0;
-         out.size() < count && scanned < max_uops; ++scanned) {
-        const Uop uop = gen.next();
-        OperandSample s{};
-        switch (uop.cls) {
-          case UopClass::IntAlu: {
-            const std::uint32_t a =
-                static_cast<std::uint32_t>(uop.srcVal1);
-            const std::uint32_t b = static_cast<std::uint32_t>(
-                uop.hasImm ? uop.imm : uop.srcVal2);
-            // ~8% of ALU adds are subtracts: A + ~B + 1.
-            if (rng.nextBool(0.08)) {
-                s = {a, ~b, true};
-            } else {
-                s = {a, b, false};
-            }
-            break;
-          }
-          case UopClass::Load:
-          case UopClass::Store: {
-            // AGU: base + displacement.
-            const std::uint32_t base =
-                static_cast<std::uint32_t>(uop.srcVal1);
-            const std::uint32_t disp = static_cast<std::uint32_t>(
-                uop.addr - uop.srcVal1);
-            s = {base, disp, false};
-            break;
-          }
-          default:
-            continue;
+    return collectAdderOperandsFrom(gen, count);
+}
+
+std::vector<double>
+operandDutyFeatures(const std::vector<OperandSample> &ops,
+                    unsigned width)
+{
+    assert(width <= 32);
+    // One BitBiasTracker bit per input signal: a-bits, b-bits,
+    // carry-in.  Each 64-sample chunk is transposed into the
+    // lane-word layout observeBatch consumes, so the per-bit duty
+    // sums cost one popcount per input bit per chunk.
+    BitBiasTracker tracker(operandFeatureCount(width));
+    std::vector<std::uint64_t> words(operandFeatureCount(width));
+    std::uint64_t ta[64];
+    std::uint64_t tb[64];
+    for (std::size_t begin = 0; begin < ops.size(); begin += 64) {
+        const std::size_t count =
+            std::min<std::size_t>(64, ops.size() - begin);
+        std::uint64_t cin_mask = 0;
+        for (std::size_t l = 0; l < count; ++l) {
+            const OperandSample &op = ops[begin + l];
+            ta[l] = op.a;
+            tb[l] = op.b;
+            if (op.cin)
+                cin_mask |= std::uint64_t(1) << l;
         }
-        out.push_back(s);
+        std::fill(ta + count, ta + 64, 0);
+        std::fill(tb + count, tb + 64, 0);
+        transpose64x64(ta);
+        transpose64x64(tb);
+        for (unsigned bit = 0; bit < width; ++bit) {
+            words[bit] = ta[bit];
+            words[width + bit] = tb[bit];
+        }
+        words[2 * width] = cin_mask;
+        const std::uint64_t lane_mask = count == 64
+            ? ~std::uint64_t(0)
+            : (std::uint64_t(1) << count) - 1;
+        tracker.observeBatch(words.data(), lane_mask);
     }
-    return out;
+    return tracker.biasVector();
 }
 
 AdderAgingAnalysis::AdderAgingAnalysis(const Adder &adder,
@@ -235,6 +240,42 @@ AdderAgingAnalysis::baselineGuardband(
     const std::vector<double> &real_probs) const
 {
     return summarize(real_probs).guardband;
+}
+
+double
+AdderAgingAnalysis::meanDeviceGuardband(
+    const std::vector<double> &zero_probs) const
+{
+    const auto &devices = adder_.netlist().pmosDevices();
+    assert(zero_probs.size() == devices.size());
+    if (devices.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        sum += model_.guardbandForZeroProb(zero_probs[i],
+                                           devices[i].width);
+    }
+    return sum / static_cast<double>(devices.size());
+}
+
+double
+AdderAgingAnalysis::wideFullyStressedFraction(
+    const std::vector<double> &zero_probs) const
+{
+    const auto &devices = adder_.netlist().pmosDevices();
+    assert(zero_probs.size() == devices.size());
+    std::size_t wide = 0;
+    std::size_t full = 0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        if (devices[i].width != WidthClass::Wide)
+            continue;
+        ++wide;
+        if (zero_probs[i] >= 0.9999)
+            ++full;
+    }
+    return wide == 0
+        ? 0.0
+        : static_cast<double>(full) / static_cast<double>(wide);
 }
 
 AgingSummary

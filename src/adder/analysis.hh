@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "circuit/aging.hh"
+#include "common/rng.hh"
 #include "idle_inputs.hh"
 #include "trace/generator.hh"
 
@@ -39,6 +40,37 @@ struct OperandSample
  */
 std::vector<OperandSample>
 collectAdderOperands(TraceGenerator &gen, std::size_t count);
+
+/**
+ * Generator-generic form of collectAdderOperands(): any source with
+ * a `Uop next()` (the workload TraceGenerator, the adversarial
+ * AttackTraceGenerator) feeds the same extraction -- same bounded
+ * scan, same seeded subtract conversion -- so a candidate trace
+ * configuration maps to one deterministic operand stream.
+ */
+template <class Gen>
+std::vector<OperandSample>
+collectAdderOperandsFrom(Gen &gen, std::size_t count);
+
+/**
+ * Per-input-bit zero-duty features of an operand stream: the zero
+ * probability of every a-bit and b-bit plus the carry-in, in that
+ * order (2 * width + 1 values).  This is the surrogate's feature
+ * vector.  Extraction is batch-wise: 64 samples per pass through
+ * transpose64x64 into BitBiasTracker::observeBatch, no scalar
+ * per-sample loops, so the cost per candidate is a small constant
+ * times the sample count / 64.
+ */
+std::vector<double>
+operandDutyFeatures(const std::vector<OperandSample> &ops,
+                    unsigned width = 32);
+
+/** Feature count of operandDutyFeatures() for @p width. */
+constexpr unsigned
+operandFeatureCount(unsigned width)
+{
+    return 2 * width + 1;
+}
 
 /** Result of the Figure-4 pair sweep for one pair. */
 struct PairSweepEntry
@@ -100,6 +132,24 @@ class AdderAgingAnalysis
     double
     baselineGuardband(const std::vector<double> &real_probs) const;
 
+    /**
+     * Mean per-device guardband: the average of
+     * guardbandForZeroProb over every PMOS device (width-aware).
+     * Monotone in every per-device duty, so unlike the worst-case
+     * summary -- which saturates once any narrow device is pinned
+     * -- it discriminates between streams that pin many devices
+     * and streams that pin few.  This is the degradation score the
+     * surrogate is trained on and the attack search maximises.
+     */
+    double
+    meanDeviceGuardband(const std::vector<double> &zero_probs) const;
+
+    /** Fraction of wide (carry-merge) PMOS at >= 99.99% zero-signal
+     *  probability -- the metric of the constant-operand wearout
+     *  attack (0 when the netlist has no wide devices). */
+    double wideFullyStressedFraction(
+        const std::vector<double> &zero_probs) const;
+
     /** Summary for an arbitrary per-device probability vector. */
     AgingSummary
     summarize(const std::vector<double> &zero_probs) const;
@@ -110,6 +160,52 @@ class AdderAgingAnalysis
     const Adder &adder_;
     GuardbandModel model_;
 };
+
+template <class Gen>
+std::vector<OperandSample>
+collectAdderOperandsFrom(Gen &gen, std::size_t count)
+{
+    std::vector<OperandSample> out;
+    out.reserve(count);
+    // Bounded scan: some streams are branch/FP heavy, so cap the
+    // number of uops inspected to avoid unbounded loops.
+    const std::size_t max_uops = count * 16 + 1024;
+    Rng rng(0xadde7);
+    for (std::size_t scanned = 0;
+         out.size() < count && scanned < max_uops; ++scanned) {
+        const Uop uop = gen.next();
+        OperandSample s{};
+        switch (uop.cls) {
+          case UopClass::IntAlu: {
+            const std::uint32_t a =
+                static_cast<std::uint32_t>(uop.srcVal1);
+            const std::uint32_t b = static_cast<std::uint32_t>(
+                uop.hasImm ? uop.imm : uop.srcVal2);
+            // ~8% of ALU adds are subtracts: A + ~B + 1.
+            if (rng.nextBool(0.08)) {
+                s = {a, ~b, true};
+            } else {
+                s = {a, b, false};
+            }
+            break;
+          }
+          case UopClass::Load:
+          case UopClass::Store: {
+            // AGU: base + displacement.
+            const std::uint32_t base =
+                static_cast<std::uint32_t>(uop.srcVal1);
+            const std::uint32_t disp = static_cast<std::uint32_t>(
+                uop.addr - uop.srcVal1);
+            s = {base, disp, false};
+            break;
+          }
+          default:
+            continue;
+        }
+        out.push_back(s);
+    }
+    return out;
+}
 
 } // namespace penelope
 

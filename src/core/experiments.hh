@@ -88,6 +88,53 @@ struct ExperimentOptions
 
     /** Scaling for mechanism warmup/test/period time constants. */
     double mechanismTimeScale = 0.05;
+
+    // ------------------------------------------- surrogate triage
+
+    /**
+     * Surrogate triage for candidate sweeps (the attack-search
+     * experiment).  False = exhaustive: every candidate is priced
+     * by the exact engine and the surrogate is never consulted.
+     * An audit fraction >= 1.0 is equivalent by construction --
+     * every candidate is exact-evaluated, so the surrogate
+     * (including its training replays) is bypassed entirely and
+     * both stdout and cache traffic match the disabled mode byte
+     * for byte.  Printed statistics come from the exact engine in
+     * every mode.
+     */
+    bool surrogateEnabled = true;
+
+    /** Seeded audit fraction: exact-evaluate this share of the
+     *  pruned candidates as a spot check. */
+    double surrogateAuditFraction = 0.03;
+
+    /** Predicted-best candidates always evaluated exactly. */
+    std::size_t surrogateTopK = 8;
+
+    /**
+     * Base seed of every surrogate-side stream (training pool,
+     * train/holdout split, audit sampling, search mutations).
+     * Derived via mixSeed with fixed stream tags, all disjoint
+     * from the engine's per-trace streams.
+     */
+    std::uint64_t surrogateSeed = 0x5a11'7e57'0b5eULL;
+
+    /** Training candidates behind the surrogate fit. */
+    std::size_t surrogateTrainCandidates = 96;
+
+    // --------------------------------------------- attack search
+
+    /** Random restarts of the greedy mutation search. */
+    std::size_t attackSearchRestarts = 4;
+
+    /** Greedy generations per restart. */
+    std::size_t attackSearchGenerations = 10;
+
+    /** Mutation proposals per generation. */
+    std::size_t attackSearchProposals = 32;
+
+    /** Operand samples per exact candidate evaluation. */
+    std::size_t attackSearchExactSamples = 2048;
 };
 
 /**

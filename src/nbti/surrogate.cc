@@ -1,0 +1,194 @@
+#include "surrogate.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace penelope {
+
+double
+SurrogateFit::predict(const double *features,
+                      std::size_t count) const
+{
+    assert(count == featureCount());
+    double y = coeffs.empty() ? 0.0 : coeffs[0];
+    for (std::size_t j = 0; j < count; ++j)
+        y += coeffs[j + 1] * features[j];
+    return y;
+}
+
+double
+SurrogateFit::predict(const std::vector<double> &features) const
+{
+    return predict(features.data(), features.size());
+}
+
+namespace {
+
+/** Solve A x = b in place by Gaussian elimination with partial
+ *  pivoting.  Deterministic: the pivot is the largest-magnitude
+ *  entry, ties towards the lower row. */
+std::vector<double>
+solveLinearSystem(std::vector<std::vector<double>> &a,
+                  std::vector<double> &b)
+{
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        const double diag = a[col][col];
+        if (diag == 0.0)
+            continue; // singular column: leave x[col] = 0
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row][col] / diag;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t col = n; col-- > 0;) {
+        if (a[col][col] == 0.0)
+            continue;
+        double sum = b[col];
+        for (std::size_t k = col + 1; k < n; ++k)
+            sum -= a[col][k] * x[k];
+        x[col] = sum / a[col][col];
+    }
+    return x;
+}
+
+double
+rmse(const SurrogateFit &fit,
+     const std::vector<const SurrogateSample *> &set)
+{
+    if (set.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const SurrogateSample *s : set) {
+        const double err = fit.predict(s->features) - s->score;
+        sum += err * err;
+    }
+    return std::sqrt(sum / static_cast<double>(set.size()));
+}
+
+} // namespace
+
+SurrogateFit
+fitSurrogate(const std::vector<SurrogateSample> &samples,
+             const SurrogateFitConfig &config)
+{
+    SurrogateFit fit;
+    if (samples.empty())
+        return fit;
+    const std::size_t d = samples.front().features.size();
+
+    // Per-sample seeded split: membership depends only on
+    // (seed, index), never on sample order or the engine's RNG.
+    std::vector<const SurrogateSample *> train;
+    std::vector<const SurrogateSample *> holdout;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        assert(samples[i].features.size() == d);
+        Rng rng(mixSeed(config.seed, i));
+        if (rng.nextBool(config.holdoutFraction))
+            holdout.push_back(&samples[i]);
+        else
+            train.push_back(&samples[i]);
+    }
+    if (train.empty())
+        train.swap(holdout);
+
+    // Normal equations over [1, features]: A = X^T X + ridge * I
+    // (intercept unregularised), b = X^T y.  Accumulation order is
+    // fixed (sample order, then feature order), so the solve -- and
+    // therefore every coefficient -- is bit-deterministic.
+    const std::size_t n = d + 1;
+    std::vector<std::vector<double>> a(
+        n, std::vector<double>(n, 0.0));
+    std::vector<double> b(n, 0.0);
+    for (const SurrogateSample *s : train) {
+        std::vector<double> row(n);
+        row[0] = 1.0;
+        for (std::size_t j = 0; j < d; ++j)
+            row[j + 1] = s->features[j];
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c)
+                a[r][c] += row[r] * row[c];
+            b[r] += row[r] * s->score;
+        }
+    }
+    for (std::size_t j = 1; j < n; ++j)
+        a[j][j] += config.ridge;
+
+    fit.coeffs = solveLinearSystem(a, b);
+    fit.trainCount = train.size();
+    fit.holdoutCount = holdout.size();
+    fit.trainRmse = rmse(fit, train);
+    fit.holdoutRmse = rmse(fit, holdout);
+    return fit;
+}
+
+bool
+auditSelects(std::uint64_t audit_seed, std::size_t index,
+             double fraction)
+{
+    Rng rng(mixSeed(audit_seed, index));
+    return rng.nextBool(fraction);
+}
+
+std::vector<std::size_t>
+triageSelect(const std::vector<double> &predicted,
+             const TriageConfig &config, TriageStats &stats)
+{
+    const std::size_t n = predicted.size();
+    stats.candidatesScored += n;
+
+    // Top-K by predicted score, ties towards the lower index.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    const std::size_t k = std::min(config.topK, n);
+    std::partial_sort(
+        order.begin(), order.begin() + k, order.end(),
+        [&](std::size_t x, std::size_t y) {
+            if (predicted[x] != predicted[y])
+                return predicted[x] > predicted[y];
+            return x < y;
+        });
+
+    std::vector<bool> selected(n, false);
+    for (std::size_t i = 0; i < k; ++i)
+        selected[order[i]] = true;
+
+    std::size_t audited = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (selected[i])
+            continue;
+        if (auditSelects(config.auditSeed, i,
+                         config.auditFraction)) {
+            selected[i] = true;
+            ++audited;
+        }
+    }
+
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (selected[i])
+            out.push_back(i);
+    }
+    stats.exactEvaluated += out.size();
+    stats.audited += audited;
+    stats.pruned += n - out.size();
+    return out;
+}
+
+} // namespace penelope

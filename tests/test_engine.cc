@@ -432,12 +432,14 @@ TEST(Registry, BuiltinCatalogRegistersOnce)
     registerBuiltinExperiments(); // idempotent
     const auto &experiments =
         ExperimentRegistry::instance().experiments();
-    EXPECT_EQ(experiments.size(), 12u);
+    EXPECT_EQ(experiments.size(), 13u);
     EXPECT_NE(ExperimentRegistry::instance().find("fig5"),
               nullptr);
     EXPECT_NE(ExperimentRegistry::instance().find("table4"),
               nullptr);
     EXPECT_NE(ExperimentRegistry::instance().find("attack"),
+              nullptr);
+    EXPECT_NE(ExperimentRegistry::instance().find("attack-search"),
               nullptr);
     EXPECT_EQ(ExperimentRegistry::instance().find("nope"),
               nullptr);
