@@ -58,6 +58,7 @@
 
 #include "adder/adder.hh"
 #include "circuit/netlist_opt.hh"
+#include "common/buildinfo.hh"
 #include "common/shutdown.hh"
 #include "common/threadpool.hh"
 #include "core/registry.hh"
@@ -67,6 +68,9 @@
 #include "net/coordinator.hh"
 #include "net/faultinject.hh"
 #include "net/worker.hh"
+#include "obs/exposition.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace penelope;
 
@@ -243,6 +247,27 @@ usage(std::ostream &os, int exit_code)
           "(also via the\n"
           "               PENELOPE_FAULTS env var), e.g. "
           "'seed=7,drop=0.03,flip=0.02'\n"
+          "  --metrics-dump\n"
+          "               enable the metrics registry and print a "
+          "sorted 'obs: name value'\n"
+          "               snapshot to stderr after the run (stdout "
+          "is unchanged)\n"
+          "  --metrics-port PORT\n"
+          "               serve Prometheus text exposition over "
+          "HTTP while running\n"
+          "               (0 = ephemeral; the port is announced on "
+          "stderr); under --serve\n"
+          "               the exposition includes per-worker "
+          "series\n"
+          "  --trace-out FILE\n"
+          "               write a Chrome trace_event JSON span "
+          "trace (load it in\n"
+          "               Perfetto or chrome://tracing)\n"
+          "  --metrics-query HOST:PORT\n"
+          "               fetch a running coordinator's aggregated "
+          "metrics as\n"
+          "               Prometheus text on stdout, then exit\n"
+          "  --version    print the build configuration and exit\n"
           "  --help       this message\n";
     return exit_code;
 }
@@ -752,11 +777,45 @@ main(int argc, char **argv)
     int heartbeat_interval_ms = 1'000;
     int drain_timeout_ms = 5'000;
 
+    bool metrics_dump = false;
+    bool metrics_port_set = false;
+    std::uint16_t metrics_port = 0;
+    std::string trace_out;
+    bool metrics_query_mode = false;
+    std::string metrics_query_host;
+    std::uint16_t metrics_query_port = 0;
+
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         std::uint64_t value = 0;
         if (!std::strcmp(arg, "--help")) {
             return usage(std::cout, 0);
+        } else if (!std::strcmp(arg, "--version")) {
+            std::cout << buildInfoText();
+            return 0;
+        } else if (!std::strcmp(arg, "--metrics-dump")) {
+            metrics_dump = true;
+        } else if (!std::strcmp(arg, "--metrics-port")) {
+            if (!parseCount("--metrics-port",
+                            i + 1 < argc ? argv[++i] : nullptr, 0,
+                            65535, value))
+                return 2;
+            metrics_port = static_cast<std::uint16_t>(value);
+            metrics_port_set = true;
+        } else if (!std::strcmp(arg, "--trace-out")) {
+            if (i + 1 >= argc) {
+                std::cerr << "penelope_bench: --trace-out "
+                             "requires a path\n";
+                return 2;
+            }
+            trace_out = argv[++i];
+        } else if (!std::strcmp(arg, "--metrics-query")) {
+            if (!parseHostPort("--metrics-query",
+                               i + 1 < argc ? argv[++i] : nullptr,
+                               metrics_query_host,
+                               metrics_query_port))
+                return 2;
+            metrics_query_mode = true;
         } else if (!std::strcmp(arg, "--list")) {
             listExperiments(std::cout);
             return 0;
@@ -946,6 +1005,97 @@ main(int argc, char **argv)
         } else {
             names.push_back(arg);
         }
+    }
+
+    // Observability session: emission stays runtime-off unless a
+    // flag asks for it, and every sink writes to stderr, a file or
+    // a socket -- stdout carries only experiment statistics either
+    // way.  The guard tears everything down on *every* exit path
+    // (worker, serve, client, local) in declaration order:
+    // coordinator_for_metrics outlives the guard, whose destructor
+    // joins the server thread before anything else unwinds.
+    std::atomic<net::Coordinator *> coordinator_for_metrics{
+        nullptr};
+    struct ObsGuard
+    {
+        bool dump = false;
+        obs::MetricsServer server;
+        ~ObsGuard()
+        {
+            server.stop();
+            obs::Tracer::instance().close();
+            if (dump) {
+                std::cerr << obs::renderDump(
+                    obs::Registry::instance().scrape());
+            }
+        }
+    } obs_guard;
+    obs_guard.dump = metrics_dump;
+    if (metrics_dump || metrics_port_set || !trace_out.empty())
+        obs::Registry::instance().setEnabled(true);
+    if (!trace_out.empty()) {
+        std::string error;
+        if (!obs::Tracer::instance().open(trace_out, &error)) {
+            std::cerr << "penelope_bench: --trace-out: " << error
+                      << "\n";
+            return 2;
+        }
+    }
+    if (metrics_port_set) {
+        std::string error;
+        const auto provider =
+            [&coordinator_for_metrics]() -> obs::LabeledSnapshots {
+            net::Coordinator *c = coordinator_for_metrics.load(
+                std::memory_order_acquire);
+            return c ? c->workerSnapshots()
+                     : obs::LabeledSnapshots{};
+        };
+        if (!obs_guard.server.start(metrics_port, provider,
+                                    &error)) {
+            std::cerr << "penelope_bench: --metrics-port: "
+                      << error << "\n";
+            return 2;
+        }
+        std::cerr << "penelope_bench: metrics on port "
+                  << obs_guard.server.port() << "\n";
+    }
+
+    if (metrics_query_mode) {
+        std::string error;
+        net::Socket sock = net::Socket::connectTo(
+            metrics_query_host, metrics_query_port, &error);
+        if (!sock.valid()) {
+            std::cerr << "penelope_bench: --metrics-query: "
+                      << error << "\n";
+            return 4;
+        }
+        net::MetricsQueryMessage query;
+        ByteWriter w;
+        query.encode(w);
+        if (!net::sendFrame(sock, net::MessageType::MetricsQuery,
+                            w.view())) {
+            std::cerr << "penelope_bench: --metrics-query: send "
+                         "failed\n";
+            return 1;
+        }
+        net::Frame frame;
+        if (net::recvFrame(sock, frame, 10'000) !=
+                net::RecvStatus::Ok ||
+            frame.type != net::MessageType::MetricsSnapshot) {
+            std::cerr << "penelope_bench: --metrics-query: no "
+                         "snapshot (coordinator without metrics "
+                         "support?)\n";
+            return 1;
+        }
+        net::MetricsSnapshotMessage snapshot;
+        ByteReader r(frame.payload);
+        if (!snapshot.decode(r)) {
+            std::cerr << "penelope_bench: --metrics-query: "
+                         "undecodable snapshot\n";
+            return 1;
+        }
+        std::cout << snapshot.text;
+        return 0;
     }
 
     if (opt_stats_mode) {
@@ -1203,6 +1353,8 @@ main(int argc, char **argv)
             coordinator.emplace(plan, *cache, config);
         }
 
+        coordinator_for_metrics.store(&*coordinator,
+                                      std::memory_order_release);
         std::string error;
         if (!coordinator->start(&error)) {
             std::cerr << "penelope_bench: --serve: " << error
@@ -1227,6 +1379,13 @@ main(int argc, char **argv)
         }
         std::cerr << "\n";
         coordinator->run();
+
+        // The coordinator leaves scope on both exits below: stop
+        // serving its per-worker view first (stop() joins, so no
+        // provider call is in flight afterwards).
+        coordinator_for_metrics.store(nullptr,
+                                      std::memory_order_release);
+        obs_guard.server.stop();
 
         const net::CoordinatorStats &cs = coordinator->stats();
         std::cerr << "penelope_bench: coordinator: " << cs.slices
@@ -1304,7 +1463,18 @@ main(int argc, char **argv)
     for (const std::string &name : names) {
         const Experiment *experiment = registry.find(name);
         const ExperimentContext ctx{workload, options, std::cout};
-        experiment->run(ctx);
+        const bool timed = obs::enabled();
+        const std::uint64_t t0 =
+            timed ? obs::monotonicMicros() : 0;
+        {
+            const obs::ScopedSpan span(name, "experiment");
+            experiment->run(ctx);
+        }
+        if (timed) {
+            PENELOPE_OBS_HISTOGRAM("engine.experiment_latency",
+                                   "us")
+                .record(obs::monotonicMicros() - t0);
+        }
     }
 
     if (shard_mode) {

@@ -25,6 +25,7 @@
 #include "core/serialize.hh"
 #include "core/surrogate_sweep.hh"
 #include "nbti/rd_model.hh"
+#include "obs/metrics.hh"
 #include "regfile/driver.hh"
 #include "scheduler/driver.hh"
 #include "trace/workload.hh"
@@ -642,6 +643,115 @@ BM_ResultCacheStore(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ResultCacheStore);
+
+
+// ---------------------------------------------- observability
+
+/** One enabled counter increment: the full hot-path cost of an
+ *  instrumentation site (relaxed enabled check + thread-local
+ *  shard bump).  The CI overhead floor relies on this staying in
+ *  the low single-digit ns. */
+void
+BM_ObsCounterInc(benchmark::State &state)
+{
+    const obs::ScopedEnable enable;
+    const obs::Counter c =
+        obs::Registry::instance().counter("perf.counter_inc");
+    for (auto _ : state)
+        c.add();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+/** The same site runtime-off: one relaxed load and branch. */
+void
+BM_ObsCounterIncDisabled(benchmark::State &state)
+{
+    const obs::ScopedEnable enable(false);
+    const obs::Counter c =
+        obs::Registry::instance().counter("perf.counter_inc_off");
+    for (auto _ : state)
+        c.add();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncDisabled);
+
+/** One histogram record: bucket index (bit_width) + two bumps. */
+void
+BM_ObsHistogramRecord(benchmark::State &state)
+{
+    const obs::ScopedEnable enable;
+    const obs::Histogram h =
+        obs::Registry::instance().histogram("perf.hist_record",
+                                            "us");
+    std::uint64_t v = 1;
+    for (auto _ : state) {
+        h.record(v);
+        v = v * 2862933555777941757ULL + 3037000493ULL;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+/** A full scrape: merge every live shard + retired totals into a
+ *  sorted snapshot.  Cold-path (heartbeats, --metrics-port
+ *  requests), so ms-scale is acceptable; track it anyway. */
+void
+BM_ObsScrape(benchmark::State &state)
+{
+    const obs::ScopedEnable enable;
+    obs::Registry::instance()
+        .counter("perf.scrape_seed")
+        .add();
+    std::size_t n = 0;
+    for (auto _ : state)
+        n += obs::Registry::instance().scrape().metrics.size();
+    benchmark::DoNotOptimize(n);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScrape);
+
+/** BM_SchedulerReplay with the registry enabled: the CI overhead
+ *  floor asserts this within 3% of the metrics-off twin. */
+void
+BM_SchedulerReplayObsOn(benchmark::State &state)
+{
+    const obs::ScopedEnable enable;
+    WorkloadSet workload;
+    Scheduler sched{SchedulerConfig{}};
+    SchedulerReplay replay(sched, SchedReplayConfig{});
+    TraceGenerator gen = workload.generator(0);
+    for (auto _ : state)
+        replay.run(gen, 256);
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SchedulerReplayObsOn);
+
+/** BM_NetlistEvaluateBatch with the registry enabled (same 3%
+ *  floor). */
+void
+BM_NetlistEvaluateBatchObsOn(benchmark::State &state)
+{
+    const obs::ScopedEnable enable;
+    LadnerFischerAdder adder(32);
+    Rng rng(1);
+    std::uint64_t a[64];
+    std::uint64_t b[64];
+    for (int i = 0; i < 64; ++i) {
+        a[i] = rng() & 0xffffffff;
+        b[i] = rng() & 0xffffffff;
+    }
+    const std::uint64_t cin_mask = rng();
+    std::vector<std::uint64_t> words;
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        adder.evaluateBatch(a, b, cin_mask, words);
+        acc += words.back();
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetlistEvaluateBatchObsOn);
 
 } // namespace
 

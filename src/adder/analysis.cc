@@ -5,6 +5,7 @@
 
 #include "common/bitword.hh"
 #include "common/duty.hh"
+#include "obs/metrics.hh"
 
 namespace penelope {
 
@@ -177,6 +178,8 @@ AdderAgingAnalysis::zeroProbsForOperands(
                 ? ~std::uint64_t(0)
                 : (std::uint64_t(1) << word_lanes) - 1;
         }
+        PENELOPE_OBS_COUNTER("netlist.lanes_used", "lanes")
+            .add(count);
         adder_.evaluateBatchWide(a, b, cin_masks, net_w, words);
         tracker.observeBatchWide(words.data(), net_w, lane_masks);
     }

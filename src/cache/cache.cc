@@ -5,9 +5,20 @@
 #include <cassert>
 
 #include "common/bitword.hh"
+#include "obs/metrics.hh"
 #include "inversion.hh"
 
 namespace penelope {
+
+namespace {
+
+/** Batch drains of the cache-model bias accumulator.  File-scope handle: the drain runs once per 64
+ *  replayed cycles, and the disabled cost must stay one
+ *  relaxed branch. */
+const obs::Counter g_cacheModelDrains =
+    obs::Registry::instance().counter("cache_model.drains");
+
+} // namespace
 
 CacheConfig
 CacheConfig::tlb(std::uint32_t entries, std::uint32_t ways,
@@ -116,6 +127,7 @@ Cache::drainBiasBatch()
     const unsigned n = biasCount_;
     if (n == 0)
         return;
+    g_cacheModelDrains.add();
     biasCount_ = 0;
 
     // In-place transpose into the observeBatchWeighted layout; the

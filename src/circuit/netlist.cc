@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hh"
+
 namespace penelope {
+
+namespace {
+
+/** File-scope handles: evaluateBatch runs ~10^5-10^6 times per
+ *  second, so the emission cost budget here is two relaxed adds
+ *  (and a single relaxed bool when disabled).  Lane utilization
+ *  is lanes-used (reported by the feeding drivers) over
+ *  lane-capacity (64 x word width charged here). */
+const obs::Counter g_batchEvals =
+    obs::Registry::instance().counter("netlist.batch_evals");
+const obs::Counter g_laneCapacity =
+    obs::Registry::instance().counter("netlist.lane_capacity",
+                                      "lanes");
+
+} // namespace
 
 SignalId
 Netlist::newSignal(std::uint32_t producer_gate)
@@ -210,6 +227,8 @@ Netlist::evaluateBatch(const std::uint64_t *input_words,
                        std::vector<std::uint64_t> &net_words) const
 {
     assert(finalized_);
+    g_batchEvals.add();
+    g_laneCapacity.add(64);
     net_words.resize(wordCount_);
     evaluateBatchImpl<1>(input_words, net_words.data());
 }
@@ -317,6 +336,8 @@ Netlist::evaluateBatchWide(const std::uint64_t *input_words,
 {
     assert(finalized_);
     assert(net_w == 1 || net_w == 2 || net_w == 4 || net_w == 8);
+    g_batchEvals.add();
+    g_laneCapacity.add(64ull * net_w);
     net_words.resize(std::size_t(wordCount_) * net_w);
     std::uint64_t *w = net_words.data();
     switch (net_w) {

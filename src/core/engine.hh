@@ -35,6 +35,7 @@
 
 #include "common/threadpool.hh"
 #include "core/resultcache.hh"
+#include "obs/metrics.hh"
 
 namespace penelope {
 
@@ -69,7 +70,10 @@ class Engine
         std::vector<R> out(items.size());
         parallelFor(
             items.size(), jobs_,
-            [&](std::size_t k) { out[k] = fn(items[k], k); },
+            [&](std::size_t k) {
+                PENELOPE_OBS_COUNTER("engine.tasks", "1").add();
+                out[k] = fn(items[k], k);
+            },
             pool_);
         return out;
     }
@@ -95,6 +99,7 @@ class Engine
         parallelFor(
             items.size(), jobs_,
             [&](std::size_t k) {
+                PENELOPE_OBS_COUNTER("engine.tasks", "1").add();
                 const Hash128 key = keyOf(items[k], k);
                 std::string payload;
                 if (cache->lookup(key, payload)) {

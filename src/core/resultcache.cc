@@ -5,9 +5,46 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace penelope {
 
 namespace {
+
+/** File-scope handles (no per-call static guard): lookup/store
+ *  run once per simulated (trace, options) point, and the
+ *  per-stripe split is what makes contention visible. */
+struct CacheMetrics
+{
+    obs::Counter hits, misses, stores;
+    std::array<obs::Counter, ResultCache::kStripes> stripeHits;
+    std::array<obs::Counter, ResultCache::kStripes> stripeMisses;
+    std::array<obs::Counter, ResultCache::kStripes> stripeStores;
+    obs::Histogram lookupUs, storeUs;
+
+    CacheMetrics()
+    {
+        auto &reg = obs::Registry::instance();
+        hits = reg.counter("cache.hits");
+        misses = reg.counter("cache.misses");
+        stores = reg.counter("cache.stores");
+        for (unsigned s = 0; s < ResultCache::kStripes; ++s) {
+            char tag[4];
+            std::snprintf(tag, sizeof tag, "s%02u", s);
+            stripeHits[s] =
+                reg.counter(std::string("cache.hits.") + tag);
+            stripeMisses[s] =
+                reg.counter(std::string("cache.misses.") + tag);
+            stripeStores[s] =
+                reg.counter(std::string("cache.stores.") + tag);
+        }
+        lookupUs = reg.histogram("cache.lookup_latency", "us");
+        storeUs = reg.histogram("cache.store_latency", "us");
+    }
+};
+
+const CacheMetrics g_cacheMetrics{};
 
 inline std::uint64_t
 rotl64(std::uint64_t x, int r)
@@ -419,6 +456,8 @@ ResultCache::ensureLoaded(unsigned index, Stripe &stripe)
 bool
 ResultCache::lookup(const Hash128 &key, std::string &payload)
 {
+    const bool timed = obs::enabled();
+    const std::uint64_t t0 = timed ? obs::monotonicMicros() : 0;
     Stripe &stripe = stripeFor(key);
     bool hit = false;
     {
@@ -433,17 +472,31 @@ ResultCache::lookup(const Hash128 &key, std::string &payload)
             hit = true;
         }
     }
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    if (hit)
-        ++stats_.hits;
-    else
-        ++stats_.misses;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        if (hit)
+            ++stats_.hits;
+        else
+            ++stats_.misses;
+    }
+    if (timed) {
+        const unsigned sidx = static_cast<unsigned>(
+            &stripe - stripes_.data());
+        (hit ? g_cacheMetrics.hits : g_cacheMetrics.misses).add();
+        (hit ? g_cacheMetrics.stripeHits
+             : g_cacheMetrics.stripeMisses)[sidx]
+            .add();
+        g_cacheMetrics.lookupUs.record(obs::monotonicMicros() -
+                                       t0);
+    }
     return hit;
 }
 
 void
 ResultCache::store(const Hash128 &key, std::string_view payload)
 {
+    const bool timed = obs::enabled();
+    const std::uint64_t t0 = timed ? obs::monotonicMicros() : 0;
     Stripe &stripe = stripeFor(key);
     {
         std::lock_guard<std::mutex> lock(stripe.mutex);
@@ -473,8 +526,18 @@ ResultCache::store(const Hash128 &key, std::string_view payload)
             }
         }
     }
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    ++stats_.stores;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.stores;
+    }
+    if (timed) {
+        const unsigned sidx = static_cast<unsigned>(
+            &stripe - stripes_.data());
+        g_cacheMetrics.stores.add();
+        g_cacheMetrics.stripeStores[sidx].add();
+        g_cacheMetrics.storeUs.record(obs::monotonicMicros() -
+                                      t0);
+    }
 }
 
 void
@@ -527,6 +590,7 @@ ResultCache::exportByteSize()
 std::size_t
 ResultCache::flushToDisk()
 {
+    obs::ScopedSpan span("cache.flush", "cache-io");
     if (dir_.empty())
         return 0;
     std::size_t appended = 0;
@@ -561,6 +625,7 @@ ResultCache::flushToDisk()
 bool
 ResultCache::exportTo(const std::string &path)
 {
+    obs::ScopedSpan span("cache.export", "cache-io");
     std::string bytes;
     exportToBytes(bytes);
     std::ofstream out(path,
@@ -606,6 +671,7 @@ ResultCache::importFromBytes(std::string_view bytes)
 bool
 ResultCache::importFrom(const std::string &path)
 {
+    obs::ScopedSpan span("cache.import", "cache-io");
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return false;
@@ -618,6 +684,7 @@ ResultCache::importFrom(const std::string &path)
 std::size_t
 ResultCache::compact()
 {
+    obs::ScopedSpan span("cache.compact", "cache-io");
     std::size_t dropped = 0;
     for (unsigned i = 0; i < kStripes; ++i) {
         Stripe &stripe = stripes_[i];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hh"
+
 namespace penelope {
 
 void
@@ -192,6 +194,15 @@ sweepAttackCandidates(const AdderAgingAnalysis &analysis,
     }
     result.bestIndex = result.evaluated[best];
     result.best = result.evals[best];
+
+    PENELOPE_OBS_COUNTER("surrogate.scored", "1")
+        .add(result.stats.candidatesScored);
+    PENELOPE_OBS_COUNTER("surrogate.pruned", "1")
+        .add(result.stats.pruned);
+    PENELOPE_OBS_COUNTER("surrogate.exact_evals", "1")
+        .add(result.stats.exactEvaluated);
+    PENELOPE_OBS_COUNTER("surrogate.audited", "1")
+        .add(result.stats.audited);
     return result;
 }
 
@@ -219,6 +230,8 @@ trainAttackSurrogate(const AdderAgingAnalysis &analysis,
     const auto evals = evaluateSelected(
         analysis, pool, all, exact_samples, engine, cache);
     stats.trainEvaluated += evals.size();
+    PENELOPE_OBS_COUNTER("surrogate.train_evals", "1")
+        .add(evals.size());
 
     const unsigned width = analysis.adder().width();
     std::vector<SurrogateSample> samples(pool.size());

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/rng.hh"
+#include "obs/metrics.hh"
 
 namespace penelope {
 
@@ -87,9 +88,12 @@ SurrogateFit
 fitSurrogate(const std::vector<SurrogateSample> &samples,
              const SurrogateFitConfig &config)
 {
+    const bool timed = obs::enabled();
+    const std::uint64_t t0 = timed ? obs::monotonicMicros() : 0;
     SurrogateFit fit;
     if (samples.empty())
         return fit;
+    PENELOPE_OBS_COUNTER("surrogate.fits", "1").add();
     const std::size_t d = samples.front().features.size();
 
     // Per-sample seeded split: membership depends only on
@@ -134,6 +138,9 @@ fitSurrogate(const std::vector<SurrogateSample> &samples,
     fit.holdoutCount = holdout.size();
     fit.trainRmse = rmse(fit, train);
     fit.holdoutRmse = rmse(fit, holdout);
+    if (timed)
+        PENELOPE_OBS_HISTOGRAM("surrogate.fit_latency", "us")
+            .record(obs::monotonicMicros() - t0);
     return fit;
 }
 

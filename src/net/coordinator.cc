@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace penelope {
 namespace net {
 
@@ -19,6 +21,11 @@ constexpr std::uint32_t kNoJobId = 0xffffffffu;
 constexpr std::uint64_t kNeverSent = ~0ull;
 
 using Clock = std::chrono::steady_clock;
+
+/** Live worker connections (Hello accepted, handler running). */
+const penelope::obs::Gauge g_workersConnected =
+    penelope::obs::Registry::instance().gauge(
+        "svc.workers_connected", "1");
 
 double
 secondsSince(Clock::time_point t0)
@@ -100,6 +107,18 @@ Coordinator::jobState(std::uint32_t job) const
     const auto it = jobs_.find(job);
     return it == jobs_.end() ? JobState::Rejected
                              : it->second.state;
+}
+
+obs::LabeledSnapshots
+Coordinator::workerSnapshots() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::LabeledSnapshots out;
+    for (const auto &[index, snap] : workerMetrics_) {
+        out.emplace_back(
+            "worker=\"" + std::to_string(index) + "\"", snap);
+    }
+    return out;
 }
 
 std::vector<std::uint32_t>
@@ -374,12 +393,15 @@ Coordinator::serveConnection(Socket sock)
             HelloMessage hello;
             ByteReader r(frame.payload);
             if (hello.decode(r)) {
+                unsigned worker_index = 0;
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
-                    ++stats_.workersSeen;
+                    worker_index = stats_.workersSeen++;
                     stats_.workerCpus.push_back(hello.hostCpus);
                 }
-                serveWorker(sock, frame.flags);
+                g_workersConnected.add(1);
+                serveWorker(sock, frame.flags, worker_index);
+                g_workersConnected.add(-1);
             }
             break;
           }
@@ -388,6 +410,20 @@ Coordinator::serveConnection(Socket sock)
           case MessageType::CancelJob:
             serveClient(sock, std::move(frame));
             break;
+          case MessageType::MetricsQuery: {
+            // One-shot [kCapMetrics]: the aggregated view -- the
+            // coordinator's own registry plus the latest
+            // per-worker snapshots -- as Prometheus text.
+            MetricsSnapshotMessage reply;
+            reply.text = obs::renderPrometheusAll(
+                obs::Registry::instance().scrape(),
+                workerSnapshots());
+            ByteWriter w;
+            reply.encode(w);
+            sendFrame(sock, MessageType::MetricsSnapshot,
+                      w.view());
+            break;
+          }
           default:
             break;
         }
@@ -401,17 +437,22 @@ Coordinator::serveConnection(Socket sock)
 }
 
 void
-Coordinator::serveWorker(Socket &sock, std::uint32_t peerCaps)
+Coordinator::serveWorker(Socket &sock, std::uint32_t peerCaps,
+                         unsigned workerIndex)
 {
     const AbortFn abort = [this] {
         return abandon_.load(std::memory_order_relaxed);
     };
     const bool heartbeats = (peerCaps & kCapHeartbeat) != 0 &&
         config_.heartbeatTimeoutMs > 0;
+    const bool peer_metrics = (peerCaps & kCapMetrics) != 0 &&
+        (localCapabilities() & kCapMetrics) != 0;
 
     Claim claim;
     Frame frame;
     while (claimSlice(claim)) {
+        const obs::ScopedSpan slice_span("coordinator.slice",
+                                         "svc");
         AssignMessage assign;
         assign.sliceIndex = claim.slice;
         assign.plan = claim.plan;
@@ -470,8 +511,35 @@ Coordinator::serveWorker(Socket &sock, std::uint32_t peerCaps)
                     return;
                 }
                 last_heard = Clock::now();
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.heartbeats;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.heartbeats;
+                    if (peer_metrics && !beat.metrics.empty()) {
+                        obs::Snapshot snap;
+                        if (obs::Snapshot::decodeFromBytes(
+                                beat.metrics, snap))
+                            workerMetrics_[workerIndex] =
+                                std::move(snap);
+                        // undecodable piggyback bytes: drop the
+                        // telemetry, keep the liveness signal
+                    }
+                }
+                if (peer_metrics) {
+                    // Echo for the worker's RTT series.  Safe
+                    // from this thread: all sends on this socket
+                    // happen in this handler.
+                    HeartbeatAckMessage ack;
+                    ack.sliceIndex = beat.sliceIndex;
+                    ack.sequence = beat.sequence;
+                    ByteWriter aw;
+                    ack.encode(aw);
+                    if (!sendFrame(sock,
+                                   MessageType::HeartbeatAck,
+                                   aw.view())) {
+                        forfeitSlice(claim, false);
+                        return;
+                    }
+                }
                 continue;
             }
             if (frame.type != MessageType::Result) {

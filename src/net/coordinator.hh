@@ -58,6 +58,8 @@
 #include "core/shardplan.hh"
 #include "net/backoff.hh"
 #include "net/protocol.hh"
+#include "obs/exposition.hh"
+#include "obs/metrics.hh"
 
 namespace penelope {
 namespace net {
@@ -171,6 +173,13 @@ class Coordinator
     std::vector<std::uint32_t> incompleteSlices(
         std::uint32_t job = 0) const;
 
+    /** Latest metric snapshot piggybacked by each worker
+     *  [kCapMetrics], labelled `worker="N"` by accept order --
+     *  ready for renderPrometheusAll() / a MetricsServer
+     *  provider.  Empty when no metrics-capable worker has
+     *  heartbeated yet. */
+    obs::LabeledSnapshots workerSnapshots() const;
+
   private:
     enum class SliceState : std::uint8_t
     {
@@ -212,7 +221,8 @@ class Coordinator
     };
 
     void serveConnection(Socket sock);
-    void serveWorker(Socket &sock, std::uint32_t peerCaps);
+    void serveWorker(Socket &sock, std::uint32_t peerCaps,
+                     unsigned workerIndex);
     void serveClient(Socket &sock, Frame first);
 
     bool claimSlice(Claim &claim);
@@ -239,6 +249,7 @@ class Coordinator
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::map<std::uint32_t, Job> jobs_;
+    std::map<unsigned, obs::Snapshot> workerMetrics_;
     std::uint32_t nextJobId_ = 0;
     std::vector<Ready> ready_;
     unsigned inFlight_ = 0; ///< claimed, neither done nor forfeited

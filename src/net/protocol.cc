@@ -4,11 +4,28 @@
 #include <thread>
 
 #include "net/faultinject.hh"
+#include "obs/metrics.hh"
 
 namespace penelope {
 namespace net {
 
 namespace {
+
+/** File-scope handles: every frame on every connection passes
+ *  through sendFrame/recvFrame, so these are the per-worker
+ *  "frame series" the coordinator aggregates. */
+const obs::Counter g_framesSent =
+    obs::Registry::instance().counter("net.frames_sent");
+const obs::Counter g_bytesSent =
+    obs::Registry::instance().counter("net.bytes_sent", "bytes");
+const obs::Counter g_framesRecv =
+    obs::Registry::instance().counter("net.frames_recv");
+const obs::Counter g_bytesRecv =
+    obs::Registry::instance().counter("net.bytes_recv", "bytes");
+const obs::Counter g_framesCorrupt =
+    obs::Registry::instance().counter("net.frames_corrupt");
+
+std::atomic<std::uint32_t> g_capMask{0};
 
 std::uint64_t
 payloadChecksum(MessageType type, std::string_view payload)
@@ -31,12 +48,28 @@ knownType(std::uint32_t type)
       case MessageType::JobStatus:
       case MessageType::JobUpdate:
       case MessageType::CancelJob:
+      case MessageType::HeartbeatAck:
+      case MessageType::MetricsQuery:
+      case MessageType::MetricsSnapshot:
         return true;
     }
     return false;
 }
 
 } // namespace
+
+std::uint32_t
+localCapabilities()
+{
+    return kCompiledCapabilities &
+        ~g_capMask.load(std::memory_order_relaxed);
+}
+
+void
+setCapabilityMaskForTest(std::uint32_t mask)
+{
+    g_capMask.store(mask, std::memory_order_relaxed);
+}
 
 std::string
 encodeFrame(MessageType type, std::string_view payload,
@@ -58,6 +91,8 @@ sendFrame(Socket &sock, MessageType type, std::string_view payload,
           std::uint32_t flags)
 {
     std::string frame = encodeFrame(type, payload, flags);
+    g_framesSent.add();
+    g_bytesSent.add(frame.size());
 
     FaultInjector &injector = FaultInjector::instance();
     if (injector.enabled()) {
@@ -133,8 +168,10 @@ recvFrame(Socket &sock, Frame &frame, int timeout_ms,
     const std::uint64_t checksum = r.u64();
 
     if (magic != kProtocolMagic || version != kProtocolVersion ||
-        !knownType(type) || length > kMaxFramePayload)
+        !knownType(type) || length > kMaxFramePayload) {
+        g_framesCorrupt.add();
         return RecvStatus::Corrupt;
+    }
 
     frame.type = static_cast<MessageType>(type);
     frame.flags = flags;
@@ -144,8 +181,12 @@ recvFrame(Socket &sock, Frame &frame, int timeout_ms,
                       timeout_ms, abort))
         return RecvStatus::Closed;
 
-    if (checksum != payloadChecksum(frame.type, frame.payload))
+    if (checksum != payloadChecksum(frame.type, frame.payload)) {
+        g_framesCorrupt.add();
         return RecvStatus::Corrupt;
+    }
+    g_framesRecv.add();
+    g_bytesRecv.add(kFrameHeaderBytes + frame.payload.size());
     return RecvStatus::Ok;
 }
 
@@ -217,6 +258,14 @@ HeartbeatMessage::encode(ByteWriter &w) const
 {
     w.u32(sliceIndex);
     w.u64(sequence);
+    // The metrics tail is appended only when non-empty; senders
+    // leave it empty unless the peer advertised kCapMetrics, so a
+    // v1 coordinator always sees the legacy 12-byte payload its
+    // strict atEnd decode requires.
+    if (!metrics.empty()) {
+        w.u64(metrics.size());
+        w.bytes(metrics.data(), metrics.size());
+    }
 }
 
 bool
@@ -224,7 +273,68 @@ HeartbeatMessage::decode(ByteReader &r)
 {
     sliceIndex = r.u32();
     sequence = r.u64();
+    metrics.clear();
+    if (!r.ok())
+        return false;
+    if (r.atEnd())
+        return true; // legacy / no-metrics form
+    const std::uint64_t size = r.u64();
+    if (!r.ok() || size == 0 || size > kMaxFramePayload)
+        return false;
+    const std::string_view bytes =
+        r.bytesView(static_cast<std::size_t>(size));
+    if (!r.ok() || !r.atEnd())
+        return false;
+    metrics.assign(bytes);
+    return true;
+}
+
+void
+HeartbeatAckMessage::encode(ByteWriter &w) const
+{
+    w.u32(sliceIndex);
+    w.u64(sequence);
+}
+
+bool
+HeartbeatAckMessage::decode(ByteReader &r)
+{
+    sliceIndex = r.u32();
+    sequence = r.u64();
     return r.ok() && r.atEnd();
+}
+
+void
+MetricsQueryMessage::encode(ByteWriter &w) const
+{
+    (void)w; // empty payload
+}
+
+bool
+MetricsQueryMessage::decode(ByteReader &r)
+{
+    return r.ok() && r.atEnd();
+}
+
+void
+MetricsSnapshotMessage::encode(ByteWriter &w) const
+{
+    w.u64(text.size());
+    w.bytes(text.data(), text.size());
+}
+
+bool
+MetricsSnapshotMessage::decode(ByteReader &r)
+{
+    const std::uint64_t size = r.u64();
+    if (!r.ok() || size > kMaxFramePayload)
+        return false;
+    const std::string_view bytes =
+        r.bytesView(static_cast<std::size_t>(size));
+    if (!r.ok() || !r.atEnd())
+        return false;
+    text.assign(bytes);
+    return true;
 }
 
 void

@@ -94,10 +94,23 @@ inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
 inline constexpr std::uint32_t kCapHeartbeat = 1u << 0;
 inline constexpr std::uint32_t kCapDeltaEntries = 1u << 1;
 inline constexpr std::uint32_t kCapJobs = 1u << 2;
+/** Metric snapshots piggybacked on Heartbeat frames, answered
+ *  with HeartbeatAck (worker-side RTT), and the MetricsQuery /
+ *  MetricsSnapshot exchange.  A peer without the bit sees exactly
+ *  the PR-7 heartbeat bytes. */
+inline constexpr std::uint32_t kCapMetrics = 1u << 3;
 
 /** Everything this binary implements. */
-inline constexpr std::uint32_t kLocalCapabilities =
-    kCapHeartbeat | kCapDeltaEntries | kCapJobs;
+inline constexpr std::uint32_t kCompiledCapabilities =
+    kCapHeartbeat | kCapDeltaEntries | kCapJobs | kCapMetrics;
+
+/** Everything this binary currently advertises: the compiled set
+ *  minus any bits masked for interop tests. */
+std::uint32_t localCapabilities();
+
+/** Test hook: advertise kCompiledCapabilities & ~mask, so suites
+ *  can emulate a peer without a capability (0 restores). */
+void setCapabilityMaskForTest(std::uint32_t mask);
 
 enum class MessageType : std::uint32_t
 {
@@ -110,6 +123,9 @@ enum class MessageType : std::uint32_t
     JobStatus = 7,
     JobUpdate = 8,
     CancelJob = 9,
+    HeartbeatAck = 10,
+    MetricsQuery = 11,
+    MetricsSnapshot = 12,
 };
 
 /** One decoded frame. */
@@ -130,13 +146,13 @@ enum class RecvStatus
 
 /** Serialize a frame (header + payload) into one byte string. */
 std::string encodeFrame(MessageType type, std::string_view payload,
-                        std::uint32_t flags = kLocalCapabilities);
+                        std::uint32_t flags = localCapabilities());
 
 /** Send one frame; false on any socket error.  Consults the
  *  process FaultInjector (faultinject.hh) when enabled. */
 bool sendFrame(Socket &sock, MessageType type,
                std::string_view payload,
-               std::uint32_t flags = kLocalCapabilities);
+               std::uint32_t flags = localCapabilities());
 
 /**
  * Receive and verify one frame.  @p timeout_ms bounds the wait for
@@ -198,6 +214,45 @@ struct HeartbeatMessage
 {
     std::uint32_t sliceIndex = 0;
     std::uint64_t sequence = 0; ///< monotonic per assignment
+
+    /** [kCapMetrics] opaque obs::Snapshot bytes piggybacked for
+     *  the coordinator's per-worker aggregation.  Only appended
+     *  when the *peer* advertised kCapMetrics: a v1 coordinator's
+     *  strict atEnd decode sees the exact 12 legacy payload
+     *  bytes.  Decoders accept both forms. */
+    std::string metrics;
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** coordinator -> worker [kCapMetrics]: echo of one heartbeat.
+ *  The worker matches `sequence` to its send time for the
+ *  net.heartbeat_rtt_us series that rides back in the next
+ *  snapshot. */
+struct HeartbeatAckMessage
+{
+    std::uint32_t sliceIndex = 0;
+    std::uint64_t sequence = 0;
+
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** client -> coordinator [kCapMetrics]: ask for the aggregated
+ *  metrics view (coordinator's own registry plus the latest
+ *  per-worker snapshots). */
+struct MetricsQueryMessage
+{
+    void encode(ByteWriter &w) const;
+    bool decode(ByteReader &r);
+};
+
+/** coordinator -> client [kCapMetrics]: Prometheus-style text
+ *  exposition of the aggregated metrics. */
+struct MetricsSnapshotMessage
+{
+    std::string text;
 
     void encode(ByteWriter &w) const;
     bool decode(ByteReader &r);

@@ -5,8 +5,10 @@
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "net/protocol.hh"
+#include "obs/metrics.hh"
 
 namespace penelope {
 namespace net {
@@ -14,6 +16,14 @@ namespace net {
 namespace {
 
 constexpr int kPollMs = 100;
+
+/** Worker-side RTT of the heartbeat/ack round trip [kCapMetrics]:
+ *  send time to ack receipt on the shared monotonic clock. */
+const obs::Histogram g_heartbeatRtt =
+    obs::Registry::instance().histogram("net.heartbeat_rtt_us",
+                                        "us");
+const obs::Counter g_heartbeatAcks =
+    obs::Registry::instance().counter("net.heartbeat_acks");
 
 using Clock = std::chrono::steady_clock;
 
@@ -63,6 +73,7 @@ connectWithBudget(const WorkerConfig &config, unsigned attempts_cap,
             return {};
         }
         if (attempt > 0) {
+            PENELOPE_OBS_COUNTER("net.connect_retries", "1").add();
             if (interruptibleSleep(
                     config.connectRetryMs > 0 ? config.connectRetryMs
                                               : 1,
@@ -99,9 +110,10 @@ class HeartbeatSender
   public:
     HeartbeatSender(Socket &sock, std::mutex &send_mutex,
                     std::uint32_t slice, int interval_ms,
-                    std::uint64_t &counter)
+                    std::uint64_t &counter, bool peer_metrics)
         : sock_(sock), sendMutex_(send_mutex), slice_(slice),
-          intervalMs_(interval_ms), counter_(counter)
+          intervalMs_(interval_ms), counter_(counter),
+          peerMetrics_(peer_metrics)
     {
         if (intervalMs_ > 0)
             thread_ = std::thread([this] { loop(); });
@@ -135,19 +147,69 @@ class HeartbeatSender
             HeartbeatMessage beat;
             beat.sliceIndex = slice_;
             beat.sequence = ++sequence;
+            if (peerMetrics_ && obs::enabled()) {
+                // Piggyback the scrape [kCapMetrics]: the
+                // coordinator keys its per-worker aggregation off
+                // these bytes.  Never attached to a no-capability
+                // peer -- its strict decode sees legacy bytes.
+                beat.metrics = obs::Registry::instance()
+                                   .scrape()
+                                   .encodeToBytes();
+            }
             ByteWriter w;
             beat.encode(w);
             bool sent;
+            const std::uint64_t send_us = obs::monotonicMicros();
             {
                 std::lock_guard<std::mutex> send_lock(sendMutex_);
                 sent = sendFrame(sock_, MessageType::Heartbeat,
                                  w.view());
             }
-            if (sent)
+            if (sent) {
                 ++counter_;
+                if (peerMetrics_)
+                    inflight_.emplace(beat.sequence, send_us);
+            }
+            if (peerMetrics_ && sent)
+                drainAcks();
             lock.lock();
             if (!sent)
                 break; // peer gone; the receive loop will see it
+        }
+    }
+
+    /**
+     * Receive any HeartbeatAck frames already queued on the
+     * socket [kCapMetrics].  Safe from this thread: while a slice
+     * runs the main thread never receives, and stop() joins this
+     * thread before the Result conversation resumes -- acks that
+     * arrive later are skipped by the main receive loop.
+     */
+    void
+    drainAcks()
+    {
+        // A short first wait catches the echo of the beat just
+        // sent (loopback turnaround is sub-ms), so the recorded
+        // RTT measures the round trip, not the beat interval.
+        int wait_ms = 2;
+        while (sock_.waitReadable(wait_ms)) {
+            wait_ms = 0;
+            Frame frame;
+            if (recvFrame(sock_, frame, 1000) != RecvStatus::Ok)
+                return;
+            if (frame.type != MessageType::HeartbeatAck)
+                continue;
+            HeartbeatAckMessage ack;
+            ByteReader r(frame.payload);
+            if (!ack.decode(r))
+                continue;
+            const auto it = inflight_.find(ack.sequence);
+            if (it == inflight_.end())
+                continue;
+            g_heartbeatAcks.add();
+            g_heartbeatRtt.record(obs::monotonicMicros() -
+                                  it->second);
+            inflight_.erase(it);
         }
     }
 
@@ -156,6 +218,8 @@ class HeartbeatSender
     const std::uint32_t slice_;
     const int intervalMs_;
     std::uint64_t &counter_;
+    const bool peerMetrics_;
+    std::unordered_map<std::uint64_t, std::uint64_t> inflight_;
 
     std::mutex mutex_;
     std::condition_variable cv_;
@@ -222,6 +286,8 @@ runWorker(const WorkerConfig &config, const WorkloadSet &workload,
                         : "connection to coordinator lost";
                 return WorkerOutcome::ConnectionLost;
             }
+            if (frame.type == MessageType::HeartbeatAck)
+                continue; // late ack from the previous slice
             if (frame.type == MessageType::Shutdown)
                 return WorkerOutcome::Finished;
             if (frame.type != MessageType::Assign) {
@@ -243,6 +309,15 @@ runWorker(const WorkerConfig &config, const WorkloadSet &workload,
                 (frame.flags & kCapHeartbeat) != 0;
             const bool peer_delta =
                 (frame.flags & kCapDeltaEntries) != 0;
+            const bool peer_metrics =
+                (frame.flags & kCapMetrics) != 0;
+            if (peer_metrics && obs::kCompiledIn) {
+                // A metrics-capable coordinator wants telemetry:
+                // turn emission on so the piggybacked snapshots
+                // carry real series.  stdout is untouched either
+                // way.
+                obs::Registry::instance().setEnabled(true);
+            }
 
             ++assignments;
             if (config.abortAfterAssignments &&
@@ -283,7 +358,7 @@ runWorker(const WorkerConfig &config, const WorkloadSet &workload,
                     sock, send_mutex, assign.sliceIndex,
                     peer_heartbeats ? config.heartbeatIntervalMs
                                     : 0,
-                    local_stats.heartbeatsSent);
+                    local_stats.heartbeatsSent, peer_metrics);
                 ran = runPlanSlice(workload, assign.plan,
                                    assign.sliceIndex, config.jobs,
                                    config.pool, cache);

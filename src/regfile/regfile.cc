@@ -5,8 +5,19 @@
 #include <cassert>
 
 #include "common/bitword.hh"
+#include "obs/metrics.hh"
 
 namespace penelope {
+
+namespace {
+
+/** Batch drains of the register-file bias accumulator.  File-scope handle: the drain runs once per 64
+ *  replayed cycles, and the disabled cost must stay one
+ *  relaxed branch. */
+const obs::Counter g_regfileDrains =
+    obs::Registry::instance().counter("regfile.drains");
+
+} // namespace
 
 RegisterFile::RegisterFile(const RegFileConfig &config)
     : config_(config),
@@ -132,6 +143,7 @@ RegisterFile::drainBiasBatch()
     const unsigned n = biasCount_;
     if (n == 0)
         return;
+    g_regfileDrains.add();
     biasCount_ = 0;
 
     // Transpose the duration column into bit-planes and the value

@@ -6,12 +6,23 @@
 #include <cmath>
 
 #include "common/bitword.hh"
+#include "obs/metrics.hh"
 
 #if defined(PENELOPE_ENABLE_AVX2)
 #include <immintrin.h>
 #endif
 
 namespace penelope {
+
+namespace {
+
+/** Batch drains of the 64-cycle slot-image accumulator.  File-scope handle: the drain runs once per 64
+ *  replayed cycles, and the disabled cost must stay one
+ *  relaxed branch. */
+const obs::Counter g_schedulerDrains =
+    obs::Registry::instance().counter("scheduler.drains");
+
+} // namespace
 
 namespace {
 
@@ -507,6 +518,7 @@ Scheduler::drainBatch() const
     const unsigned n = batchCount_;
     if (n == 0)
         return;
+    g_schedulerDrains.add();
     batchCount_ = 0;
     const std::uint64_t busy = batchBusy_;
     const std::uint64_t s1 = batchS1_;

@@ -20,6 +20,7 @@
 #include "net/coordinator.hh"
 #include "net/protocol.hh"
 #include "net/worker.hh"
+#include "obs/metrics.hh"
 #include "trace/workload.hh"
 
 namespace penelope {
@@ -33,6 +34,12 @@ using net::HelloMessage;
 using net::MessageType;
 using net::RecvStatus;
 using net::ResultMessage;
+using net::HeartbeatAckMessage;
+using net::HeartbeatMessage;
+using net::kCapMetrics;
+using net::MetricsQueryMessage;
+using net::MetricsSnapshotMessage;
+using net::setCapabilityMaskForTest;
 using net::Socket;
 using net::WorkerConfig;
 using net::WorkerOutcome;
@@ -794,6 +801,174 @@ TEST(NetFuzz, CoordinatorSurvivesFrameStormThenServesCleanly)
         renderPlan(workload, plan, &client_cache);
     EXPECT_EQ(rendered, reference);
     EXPECT_EQ(client_cache.stats().stores, 0u);
+}
+
+
+// ------------------------------------------- metrics extensions
+
+/** The v1 heartbeat payload is exactly u32 slice + u64 sequence.
+ *  The kCapMetrics piggyback must not disturb that layout: an
+ *  empty metrics field encodes to the exact 12 legacy bytes (a v1
+ *  coordinator's strict atEnd decode accepts it), and a legacy
+ *  12-byte payload decodes with empty metrics. */
+TEST(NetProtocol, HeartbeatKeepsLegacyLayoutWithoutMetrics)
+{
+    HeartbeatMessage in;
+    in.sliceIndex = 3;
+    in.sequence = 41;
+    ByteWriter w;
+    in.encode(w);
+    ASSERT_EQ(w.view().size(), 12u);
+
+    HeartbeatMessage out;
+    ByteReader r(w.view());
+    ASSERT_TRUE(out.decode(r));
+    EXPECT_EQ(out.sliceIndex, 3u);
+    EXPECT_EQ(out.sequence, 41u);
+    EXPECT_TRUE(out.metrics.empty());
+}
+
+TEST(NetProtocol, HeartbeatMetricsTailRoundTrips)
+{
+    HeartbeatMessage in;
+    in.sliceIndex = 1;
+    in.sequence = 7;
+    in.metrics = std::string("\x01\x00\x00\x00\x00", 5);
+    ByteWriter w;
+    in.encode(w);
+    EXPECT_GT(w.view().size(), 12u);
+
+    HeartbeatMessage out;
+    ByteReader r(w.view());
+    ASSERT_TRUE(out.decode(r));
+    EXPECT_EQ(out.sequence, 7u);
+    EXPECT_EQ(out.metrics, in.metrics);
+
+    // A truncated tail is a decode failure, not an empty field.
+    HeartbeatMessage bad;
+    ByteReader rt(w.view().substr(0, w.view().size() - 2));
+    EXPECT_FALSE(bad.decode(rt));
+}
+
+TEST(NetProtocol, MetricsMessageCodecsRoundTrip)
+{
+    {
+        HeartbeatAckMessage in;
+        in.sliceIndex = 2;
+        in.sequence = 99;
+        ByteWriter w;
+        in.encode(w);
+        HeartbeatAckMessage out;
+        ByteReader r(w.view());
+        ASSERT_TRUE(out.decode(r));
+        EXPECT_EQ(out.sliceIndex, 2u);
+        EXPECT_EQ(out.sequence, 99u);
+    }
+    {
+        MetricsQueryMessage in;
+        ByteWriter w;
+        in.encode(w);
+        MetricsQueryMessage out;
+        ByteReader r(w.view());
+        EXPECT_TRUE(out.decode(r));
+    }
+    {
+        MetricsSnapshotMessage in;
+        in.text = "# TYPE penelope_x counter\npenelope_x 1\n";
+        ByteWriter w;
+        in.encode(w);
+        MetricsSnapshotMessage out;
+        ByteReader r(w.view());
+        ASSERT_TRUE(out.decode(r));
+        EXPECT_EQ(out.text, in.text);
+
+        MetricsSnapshotMessage bad;
+        ByteReader rt(w.view().substr(0, w.view().size() - 1));
+        EXPECT_FALSE(bad.decode(rt));
+    }
+}
+
+/** Emulate a peer without kCapMetrics: with the bit masked off the
+ *  whole conversation degrades to the PR-7 feature level -- no
+ *  piggybacked snapshots, no acks -- and the run still converges
+ *  bit-identically. */
+TEST(Distributed, NoMetricsCapabilityDegradesCleanly)
+{
+    setCapabilityMaskForTest(kCapMetrics);
+    const WorkloadSet workload;
+    const ShardPlan plan = samplePlan();
+    const std::string reference =
+        renderPlan(workload, plan, nullptr);
+
+    ResultCache collected;
+    CoordinatorConfig config;
+    config.sliceTimeoutMs = 60'000;
+    Coordinator coordinator(plan, collected, config);
+    std::string error;
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::thread serve([&] { coordinator.run(); });
+
+    WorkerConfig wc;
+    wc.host = "127.0.0.1";
+    wc.port = coordinator.port();
+    wc.hostCpus = 1;
+    wc.heartbeatIntervalMs = 5;
+    ResultCache local;
+    WorkerStats stats;
+    std::string werr;
+    const WorkerOutcome outcome =
+        net::runWorker(wc, workload, local, &stats, &werr);
+    serve.join();
+    setCapabilityMaskForTest(0);
+
+    EXPECT_EQ(outcome, WorkerOutcome::Finished);
+    EXPECT_TRUE(coordinator.workerSnapshots().empty());
+    const std::string merged =
+        renderPlan(workload, plan, &collected);
+    EXPECT_EQ(merged, reference);
+}
+
+/** With full capabilities, worker heartbeats carry snapshots the
+ *  coordinator aggregates per worker.  Gated on a heartbeat having
+ *  actually fired (slices can finish under the interval). */
+TEST(Distributed, MetricsPiggybackReachesCoordinator)
+{
+    if (!obs::kCompiledIn)
+        GTEST_SKIP();
+    const WorkloadSet workload;
+    const ShardPlan plan = samplePlan();
+
+    ResultCache collected;
+    CoordinatorConfig config;
+    config.sliceTimeoutMs = 60'000;
+    Coordinator coordinator(plan, collected, config);
+    std::string error;
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::thread serve([&] { coordinator.run(); });
+
+    WorkerConfig wc;
+    wc.host = "127.0.0.1";
+    wc.port = coordinator.port();
+    wc.hostCpus = 1;
+    wc.heartbeatIntervalMs = 2;
+    wc.slowFactor = 2.0; // stretch slices past the beat interval
+    ResultCache local;
+    WorkerStats stats;
+    std::string werr;
+    const WorkerOutcome outcome =
+        net::runWorker(wc, workload, local, &stats, &werr);
+    serve.join();
+
+    EXPECT_EQ(outcome, WorkerOutcome::Finished);
+    if (stats.heartbeatsSent > 0) {
+        const obs::LabeledSnapshots snaps =
+            coordinator.workerSnapshots();
+        ASSERT_FALSE(snaps.empty());
+        EXPECT_EQ(snaps.front().first, "worker=\"0\"");
+        EXPECT_FALSE(snaps.front().second.metrics.empty());
+        EXPECT_NE(snaps.front().second.find("net.frames_sent"),
+                  nullptr);
+    }
 }
 
 } // namespace
